@@ -1,0 +1,105 @@
+"""A per-commit CI workflow: incremental analysis + baselining + SARIF.
+
+Simulates three commits to a small codebase:
+
+1. commit 1 — full scan; the pre-existing finding is triaged into a
+   baseline (accepted for now);
+2. commit 2 — a harmless refactor; the incremental analyzer re-analyzes
+   only the touched function, the baseline keeps CI green;
+3. commit 3 — a regression introduces a new use-after-free; only the
+   *new* finding surfaces, exported as SARIF for the code host.
+
+Run:  python examples/ci_workflow.py
+"""
+
+import json
+
+from repro import UseAfterFreeChecker
+from repro.core.baseline import Baseline
+from repro.core.incremental import IncrementalAnalyzer
+from repro.core.sarif import to_sarif
+
+COMMIT_1 = """
+fn cache_put(slot, v) { *slot = v; return 0; }
+fn cache_get(slot) { v = *slot; return v; }
+
+// Known issue, triaged as acceptable for the legacy path:
+fn legacy_flush(buf) {
+    free(buf);
+    x = *buf;       // pre-existing finding
+    return x;
+}
+
+fn serve(a) {
+    slot = malloc();
+    item = malloc();
+    *item = a;
+    cache_put(slot, item);
+    got = cache_get(slot);
+    y = *got;
+    free(item);
+    return y;
+}
+"""
+
+COMMIT_2 = COMMIT_1.replace(
+    "fn cache_get(slot) { v = *slot; return v; }",
+    "fn cache_get(slot) {\n    v = *slot;\n    // refactor: explanatory comment\n    return v;\n}",
+)
+
+COMMIT_3 = COMMIT_2 + """
+fn evict_and_reuse(a) {
+    item = malloc();
+    *item = a;
+    free(item);
+    z = *item;      // regression introduced in this commit
+    return z;
+}
+"""
+
+
+def scan(analyzer, source, baseline, label):
+    engine = analyzer.analyze(source)
+    stats = analyzer.last_stats
+    result = engine.check(UseAfterFreeChecker())
+    new = baseline.filter_new(result)
+    print(
+        f"{label}: analyzed {stats.analyzed} function(s), reused {stats.reused}; "
+        f"{len(result.reports)} finding(s), {len(new)} new after baseline"
+    )
+    return result, new
+
+
+def main() -> None:
+    analyzer = IncrementalAnalyzer()
+    baseline = Baseline()
+
+    # Commit 1: cold scan, triage everything into the baseline.
+    result, new = scan(analyzer, COMMIT_1, baseline, "commit 1 (cold)")
+    baseline = Baseline.from_results([result])
+    print(f"  -> triaged {len(baseline)} finding(s) into the baseline")
+
+    # Commit 2: comment-only refactor.
+    result, new = scan(analyzer, COMMIT_2, baseline, "commit 2 (refactor)")
+    assert not new, "refactor must not surface findings"
+    print("  -> CI green")
+
+    # Commit 3: regression.
+    result, new = scan(analyzer, COMMIT_3, baseline, "commit 3 (regression)")
+    assert len(new) == 1 and new[0].source.function == "evict_and_reuse"
+    print(f"  -> CI red: {new[0].source} flows to {new[0].sink}")
+
+    # Export the run as SARIF for the code host annotation UI.
+    result.reports = new
+    sarif = to_sarif([result], "service.pin")
+    print(
+        f"  -> SARIF: {len(sarif['runs'][0]['results'])} result(s), "
+        f"rule {sarif['runs'][0]['results'][0]['ruleId']!r}"
+    )
+    # (A real pipeline would write this to a file; show a fragment here.)
+    fragment = json.dumps(sarif["runs"][0]["results"][0]["message"], indent=2)
+    print(fragment)
+
+
+if __name__ == "__main__":
+    main()

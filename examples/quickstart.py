@@ -1,0 +1,29 @@
+"""Quickstart: find a use-after-free in ten lines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Pinpoint, UseAfterFreeChecker
+
+SOURCE = """
+fn main(a) {
+    p = malloc();
+    *p = a;
+    free(p);
+    x = *p;        // <- use after free
+    return x;
+}
+"""
+
+
+def main() -> None:
+    engine = Pinpoint.from_source(SOURCE)
+    result = engine.check(UseAfterFreeChecker())
+    print(result.summary_line())
+    for report in result:
+        print()
+        print(report)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""repro — a reproduction of Pinpoint (PLDI 2018).
+
+Pinpoint: Fast and Precise Sparse Value Flow Analysis for Million Lines
+of Code, by Qingkai Shi, Xiao Xiao, Rongxin Wu, Jinguo Zhou, Gang Fan and
+Charles Zhang.
+
+Quickstart::
+
+    from repro import Pinpoint, UseAfterFreeChecker
+
+    SOURCE = '''
+    fn main() {
+        p = malloc();
+        free(p);
+        x = *p;        // use after free
+        return x;
+    }
+    '''
+
+    engine = Pinpoint.from_source(SOURCE)
+    result = engine.check(UseAfterFreeChecker())
+    for report in result:
+        print(report)
+"""
+
+import sys as _sys
+
+# The DD/CD condition builders and term constructors recurse along
+# def-use chains; a function with a few hundred straight-line statements
+# exceeds CPython's default limit of 1000 frames.  Raise it once here
+# (never lower it) — 30k frames covers multi-thousand-statement chains
+# while staying far from C-stack exhaustion on default thread stacks.
+if _sys.getrecursionlimit() < 30000:
+    _sys.setrecursionlimit(30000)
+
+from repro.core.incremental import IncrementalAnalyzer
+from repro.core.query import ValueFlowQuery
+from repro.core import (
+    BugReport,
+    CheckResult,
+    EngineConfig,
+    EngineStats,
+    Location,
+    Pinpoint,
+    prepare_source,
+)
+from repro.core.checkers import (
+    Checker,
+    DataTransmissionChecker,
+    DoubleFreeChecker,
+    MemoryLeakChecker,
+    NullDereferenceChecker,
+    PathTraversalChecker,
+    ResourceLeakChecker,
+    TaintChecker,
+    UseAfterFreeChecker,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BugReport",
+    "CheckResult",
+    "Checker",
+    "DataTransmissionChecker",
+    "DoubleFreeChecker",
+    "EngineConfig",
+    "EngineStats",
+    "IncrementalAnalyzer",
+    "Location",
+    "MemoryLeakChecker",
+    "NullDereferenceChecker",
+    "PathTraversalChecker",
+    "Pinpoint",
+    "ResourceLeakChecker",
+    "TaintChecker",
+    "UseAfterFreeChecker",
+    "ValueFlowQuery",
+    "prepare_source",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""Baseline analyses the paper compares against.
+
+- :mod:`repro.baselines.svf` — the "layered" design (SVF [45,46]):
+  whole-program Andersen points-to first, then a global sparse value-flow
+  graph, then condition-free source-sink traversal.  Exhibits the
+  "pointer trap": imprecise points-to inflates the SVFG and the warning
+  count (paper Fig. 7-9, Table 1).
+- :mod:`repro.baselines.ifds` — a dense IFDS-style propagation in the
+  style of Saturn/Calysto: data-flow facts pushed along control-flow
+  edges (paper Section 1's motivation for sparseness).
+- :mod:`repro.baselines.intraunit` — an intra-unit checker in the style
+  of Infer/CSA as the paper describes them: per-function, no cross-unit
+  value flow, no full path correlation (Table 3).
+"""
+
+from repro.baselines.svf import SVFBaseline, SVFGStats
+from repro.baselines.ifds import IFDSBaseline
+from repro.baselines.intraunit import IntraUnitBaseline
+
+__all__ = ["IFDSBaseline", "IntraUnitBaseline", "SVFBaseline", "SVFGStats"]

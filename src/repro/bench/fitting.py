@@ -1,0 +1,81 @@
+"""Least-squares curve fitting with R² (paper Fig. 10).
+
+The paper uses curve fitting [42] to show Pinpoint's time and memory grow
+almost linearly with program size (R² > 0.9 for linear fits).  We provide
+linear (``y = a*x + b``) and power-law (``y = a * x^k``, fitted in log
+space) models; no SciPy dependency is required, though the benches may
+cross-check with numpy when available.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class FitResult:
+    model: str
+    coefficients: Tuple[float, ...]
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        if self.model == "linear":
+            a, b = self.coefficients
+            return a * x + b
+        if self.model == "power":
+            a, k = self.coefficients
+            return a * (x**k)
+        raise ValueError(self.model)
+
+    def describe(self) -> str:
+        if self.model == "linear":
+            a, b = self.coefficients
+            return f"y = {a:.4g}*x + {b:.4g} (R^2 = {self.r_squared:.3f})"
+        a, k = self.coefficients
+        return f"y = {a:.4g}*x^{k:.3f} (R^2 = {self.r_squared:.3f})"
+
+
+def _r_squared(ys: Sequence[float], predictions: Sequence[float]) -> float:
+    mean = sum(ys) / len(ys)
+    ss_total = sum((y - mean) ** 2 for y in ys)
+    ss_residual = sum((y - p) ** 2 for y, p in zip(ys, predictions))
+    if ss_total == 0:
+        return 1.0
+    return 1.0 - ss_residual / ss_total
+
+
+def fit_linear(xs: Sequence[float], ys: Sequence[float]) -> FitResult:
+    """Ordinary least squares y = a*x + b."""
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two points")
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    a = sxy / sxx if sxx else 0.0
+    b = mean_y - a * mean_x
+    predictions = [a * x + b for x in xs]
+    return FitResult("linear", (a, b), _r_squared(ys, predictions))
+
+
+def fit_power(xs: Sequence[float], ys: Sequence[float]) -> FitResult:
+    """Power law y = a * x^k via linear regression in log-log space.
+
+    The exponent ``k`` directly measures observed complexity: k ≈ 1 is
+    the paper's "almost linear", k ≈ 2 is the layered baseline's
+    quadratic SVFG blow-up.
+    """
+    pairs = [(x, y) for x, y in zip(xs, ys) if x > 0 and y > 0]
+    if len(pairs) < 2:
+        raise ValueError("need at least two positive points")
+    log_x = [math.log(x) for x, _ in pairs]
+    log_y = [math.log(y) for _, y in pairs]
+    inner = fit_linear(log_x, log_y)
+    k, log_a = inner.coefficients
+    a = math.exp(log_a)
+    predictions = [a * (x**k) for x, _ in pairs]
+    r2 = _r_squared([y for _, y in pairs], predictions)
+    return FitResult("power", (a, k), r2)

@@ -1,0 +1,28 @@
+"""Plain-text table rendering for bench output."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned text table (first column left-, rest right-aligned)."""
+    materialized: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for index, cell in enumerate(cells):
+            width = widths[index]
+            parts.append(cell.ljust(width) if index == 0 else cell.rjust(width))
+        return "  ".join(parts)
+
+    lines = [fmt_row(list(headers)), fmt_row(["-" * w for w in widths])]
+    lines.extend(fmt_row(row) for row in materialized)
+    return "\n".join(lines)

@@ -1,0 +1,274 @@
+"""Command-line interface.
+
+Usage examples::
+
+    python -m repro check program.pin --checker use-after-free
+    python -m repro check program.pin --all --json
+    python -m repro run program.pin --entry main --args 3,4
+    python -m repro dump-seg program.pin --function foo
+    python -m repro generate --lines 1000 --seed 7 -o program.pin
+
+The file extension is conventional; any text in the analyzed language
+works.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List
+
+from repro import (
+    DataTransmissionChecker,
+    DoubleFreeChecker,
+    EngineConfig,
+    MemoryLeakChecker,
+    NullDereferenceChecker,
+    PathTraversalChecker,
+    Pinpoint,
+    UseAfterFreeChecker,
+)
+
+CHECKERS = {
+    "use-after-free": UseAfterFreeChecker,
+    "double-free": DoubleFreeChecker,
+    "null-deref": NullDereferenceChecker,
+    "memory-leak": MemoryLeakChecker,
+    "path-traversal": PathTraversalChecker,
+    "data-transmission": DataTransmissionChecker,
+}
+
+
+def _read(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _report_dict(report) -> Dict:
+    return {
+        "checker": report.checker,
+        "source": {
+            "function": report.source.function,
+            "line": report.source.line,
+            "variable": report.source.variable,
+        },
+        "sink": {
+            "function": report.sink.function,
+            "line": report.sink.line,
+            "variable": report.sink.variable,
+        },
+        "path": [
+            {"function": loc.function, "line": loc.line, "variable": loc.variable}
+            for loc in report.path
+        ],
+        "condition": report.condition,
+        "verdict": report.verdict,
+    }
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    source = _read(args.file)
+    config = EngineConfig(
+        max_call_depth=args.depth,
+        use_smt=not args.no_smt,
+        use_linear_filter=not args.no_linear_filter,
+    )
+    engine = Pinpoint.from_source(source, config)
+    names = list(CHECKERS) if args.all else [args.checker]
+    baseline = None
+    if args.baseline:
+        from repro.core.baseline import Baseline
+
+        try:
+            baseline = Baseline.load(args.baseline)
+        except FileNotFoundError:
+            baseline = Baseline()
+    exit_code = 0
+    payload: List[Dict] = []
+    results = []
+    for name in names:
+        result = engine.check(CHECKERS[name]())
+        results.append(result)
+        if baseline is not None:
+            new_reports = baseline.filter_new(result)
+            suppressed = len(result.reports) - len(new_reports)
+            result.reports = new_reports
+            if suppressed and not (args.json or args.sarif):
+                print(f"[baseline] suppressed {suppressed} known {name} finding(s)")
+        if result.reports:
+            exit_code = 1
+        if args.sarif:
+            continue
+        if args.json:
+            payload.extend(_report_dict(r) for r in result)
+        else:
+            print(result.summary_line())
+            for report in result:
+                print()
+                print(report)
+        if args.stats and not args.json:
+            stats = result.stats
+            print(
+                f"  [stats] {stats.seg_vertices} vertices, {stats.seg_edges} edges, "
+                f"{stats.candidates} candidates, {stats.pruned_linear} linear-pruned, "
+                f"{stats.pruned_smt} smt-pruned, {stats.smt_queries} SMT queries"
+            )
+    if args.update_baseline:
+        from repro.core.baseline import Baseline as _Baseline
+
+        merged = _Baseline.from_results(results)
+        if baseline is not None:
+            merged = merged.merge(baseline)
+        merged.save(args.update_baseline)
+        if not (args.json or args.sarif):
+            print(f"[baseline] wrote {len(merged)} finding(s) to {args.update_baseline}")
+    if args.sarif:
+        from repro.core.sarif import to_sarif_json
+
+        artifact = args.file if args.file != "-" else "stdin.pin"
+        print(to_sarif_json(results, artifact))
+    elif args.json:
+        json.dump({"reports": payload}, sys.stdout, indent=2)
+        print()
+    return exit_code
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.lang.interp import run_function
+
+    source = _read(args.file)
+    values = [int(v) for v in args.args.split(",")] if args.args else []
+    interp = run_function(
+        source, args.entry, *values, halt_on_violation=not args.keep_going
+    )
+    for violation in interp.violations:
+        print(f"violation: {violation}")
+    if not interp.violations:
+        print("run completed with no memory-safety violations")
+    if interp.taint_sink_hits:
+        for event in interp.taint_sink_hits:
+            print(
+                f"taint reached sink {event.detail} at "
+                f"{event.function}:{event.line}"
+            )
+    return 1 if interp.violations else 0
+
+
+def cmd_dump_seg(args: argparse.Namespace) -> int:
+    from repro.viz.dot import seg_to_dot
+
+    source = _read(args.file)
+    engine = Pinpoint.from_source(source)
+    if args.function not in engine.functions:
+        print(f"no such function: {args.function}", file=sys.stderr)
+        return 2
+    print(seg_to_dot(engine.functions[args.function].seg))
+    return 0
+
+
+def cmd_dump_cfg(args: argparse.Namespace) -> int:
+    from repro.viz.dot import cfg_to_dot
+
+    source = _read(args.file)
+    engine = Pinpoint.from_source(source)
+    if args.function not in engine.functions:
+        print(f"no such function: {args.function}", file=sys.stderr)
+        return 2
+    print(cfg_to_dot(engine.functions[args.function].prepared.function))
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    from repro.synth.generator import GeneratorConfig, generate_program
+
+    config = GeneratorConfig(
+        seed=args.seed,
+        target_lines=args.lines,
+        taint_period=7 if args.taint else 0,
+    )
+    program = generate_program(config)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(program.source)
+        print(
+            f"wrote {program.line_count} lines "
+            f"({len(program.true_bugs())} seeded bugs, "
+            f"{len(program.traps())} traps) to {args.output}"
+        )
+    else:
+        sys.stdout.write(program.source)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Pinpoint (PLDI 2018) reproduction: sparse value-flow analysis.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="statically check a program")
+    check.add_argument("file", help="program file ('-' for stdin)")
+    check.add_argument(
+        "--checker",
+        choices=sorted(CHECKERS),
+        default="use-after-free",
+    )
+    check.add_argument("--all", action="store_true", help="run every checker")
+    check.add_argument("--json", action="store_true", help="JSON output")
+    check.add_argument("--sarif", action="store_true", help="SARIF 2.1.0 output")
+    check.add_argument(
+        "--baseline", default="", help="suppress findings recorded in this JSON file"
+    )
+    check.add_argument(
+        "--update-baseline",
+        default="",
+        help="write the (remaining) findings to this JSON baseline file",
+    )
+    check.add_argument("--stats", action="store_true", help="print engine stats")
+    check.add_argument("--depth", type=int, default=6, help="max calling contexts")
+    check.add_argument("--no-smt", action="store_true", help="path-insensitive mode")
+    check.add_argument(
+        "--no-linear-filter", action="store_true", help="skip the linear pre-filter"
+    )
+    check.set_defaults(func=cmd_check)
+
+    run = sub.add_parser("run", help="execute a program in the interpreter")
+    run.add_argument("file")
+    run.add_argument("--entry", default="main")
+    run.add_argument("--args", default="", help="comma-separated integer arguments")
+    run.add_argument(
+        "--keep-going", action="store_true", help="record violations and continue"
+    )
+    run.set_defaults(func=cmd_run)
+
+    seg = sub.add_parser("dump-seg", help="print a function's SEG as Graphviz dot")
+    seg.add_argument("file")
+    seg.add_argument("--function", required=True)
+    seg.set_defaults(func=cmd_dump_seg)
+
+    cfg = sub.add_parser("dump-cfg", help="print a function's CFG as Graphviz dot")
+    cfg.add_argument("file")
+    cfg.add_argument("--function", required=True)
+    cfg.set_defaults(func=cmd_dump_cfg)
+
+    gen = sub.add_parser("generate", help="generate a synthetic workload")
+    gen.add_argument("--lines", type=int, default=500)
+    gen.add_argument("--seed", type=int, default=1)
+    gen.add_argument("--taint", action="store_true", help="seed taint flows too")
+    gen.add_argument("-o", "--output", default="")
+    gen.set_defaults(func=cmd_generate)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""Pinpoint's core: SEG-based, demand-driven, compositional bug finding.
+
+The public entry point is :class:`repro.core.engine.Pinpoint`:
+
+    from repro import Pinpoint, UseAfterFreeChecker
+
+    engine = Pinpoint.from_source(source_text)
+    result = engine.check(UseAfterFreeChecker())
+    for report in result:
+        print(report)
+
+See :mod:`repro.core.pipeline` for the per-function preparation stages
+(Fig. 6 of the paper) and :mod:`repro.core.engine` for the global
+value-flow analysis (Section 3.3).
+"""
+
+from repro.core.pipeline import PreparedFunction, PreparedModule, prepare_module, prepare_source
+from repro.core.engine import EngineConfig, Pinpoint
+from repro.core.report import BugReport, CheckResult, EngineStats, Location
+
+__all__ = [
+    "BugReport",
+    "CheckResult",
+    "EngineConfig",
+    "EngineStats",
+    "Location",
+    "Pinpoint",
+    "PreparedFunction",
+    "PreparedModule",
+    "prepare_module",
+    "prepare_source",
+]

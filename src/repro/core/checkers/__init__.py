@@ -1,0 +1,34 @@
+"""Checkers: the bug classes Pinpoint detects as value-flow paths (§4.1).
+
+Each checker designates *sources* (where a value of interest is born:
+``free(c)`` makes ``c`` dangling; ``r = fgetc()`` makes ``r`` tainted)
+and *sinks* (where the value's arrival is a bug: a dereference, another
+``free``, a sensitive call).  The engine does the rest: demand-driven
+search, summary reuse, path-condition solving.
+"""
+
+from repro.core.checkers.base import Checker, SinkSpec, SourceSpec
+from repro.core.checkers.use_after_free import UseAfterFreeChecker
+from repro.core.checkers.double_free import DoubleFreeChecker
+from repro.core.checkers.null_deref import NullDereferenceChecker
+from repro.core.checkers.taint import (
+    DataTransmissionChecker,
+    PathTraversalChecker,
+    TaintChecker,
+)
+from repro.core.checkers.memory_leak import MemoryLeakChecker
+from repro.core.checkers.resource_leak import ResourceLeakChecker
+
+__all__ = [
+    "Checker",
+    "DataTransmissionChecker",
+    "DoubleFreeChecker",
+    "MemoryLeakChecker",
+    "NullDereferenceChecker",
+    "PathTraversalChecker",
+    "ResourceLeakChecker",
+    "SinkSpec",
+    "SourceSpec",
+    "TaintChecker",
+    "UseAfterFreeChecker",
+]

@@ -1,0 +1,101 @@
+"""Checker interface.
+
+A checker reduces a bug class to a source-sink reachability problem over
+value flows (paper Section 4.1).  The engine asks each checker for the
+source and sink anchors of every function's SEG and handles everything
+else (summaries, context cloning, path conditions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.ir import cfg
+from repro.seg.graph import SEG, VertexKey
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.pipeline import PreparedFunction
+
+
+@dataclass(frozen=True)
+class SourceSpec:
+    """A statement giving birth to a tracked value.
+
+    ``vertex`` anchors the source in the SEG (for path reporting);
+    ``value_var`` is the SSA variable whose value is tracked from here.
+    """
+
+    vertex: VertexKey
+    value_var: str
+    instr_uid: int
+    line: int
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class SinkSpec:
+    """A use anchor at which arrival of a tracked value is a bug."""
+
+    vertex: VertexKey
+    value_var: str
+    instr_uid: int
+    line: int
+    description: str = ""
+
+
+class Checker:
+    """Base class; subclasses override :meth:`sources` and :meth:`sinks`."""
+
+    name = "checker"
+    # Whether tracked values survive through unary/binary operators
+    # (true for taint, false for pointer identity).
+    through_ops = False
+
+    def sources(self, prepared: "PreparedFunction", seg: SEG) -> List[SourceSpec]:
+        raise NotImplementedError
+
+    def sinks(self, prepared: "PreparedFunction", seg: SEG) -> List[SinkSpec]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared helpers for subclasses
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _call_sites(seg: SEG, callee_names) -> List[cfg.Call]:
+        return [c for c in seg.call_sites if c.callee in callee_names]
+
+    @staticmethod
+    def _deref_sinks(prepared: "PreparedFunction", seg: SEG) -> List[SinkSpec]:
+        """Every non-synthetic load/store pointer operand."""
+        sinks: List[SinkSpec] = []
+        for instr in prepared.function.all_instrs():
+            if instr.synthetic:
+                continue
+            if isinstance(instr, (cfg.Load, cfg.Store)):
+                sinks.append(
+                    SinkSpec(
+                        vertex=("use", instr.pointer.name, instr.uid),
+                        value_var=instr.pointer.name,
+                        instr_uid=instr.uid,
+                        line=instr.line,
+                        description="dereference",
+                    )
+                )
+        return sinks
+
+    @staticmethod
+    def _call_arg_specs(call: cfg.Call, description: str, cls):
+        specs = []
+        for arg in call.args:
+            if isinstance(arg, cfg.Var):
+                specs.append(
+                    cls(
+                        vertex=("use", arg.name, call.uid),
+                        value_var=arg.name,
+                        instr_uid=call.uid,
+                        line=call.line,
+                        description=description,
+                    )
+                )
+        return specs

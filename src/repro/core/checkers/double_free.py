@@ -1,0 +1,33 @@
+"""Double-free checker.
+
+Source: the argument of ``free(p)``.  Sink: the argument of another
+``free`` reached later with the same value.  The engine's happens-after
+filter keeps a single ``free`` statement from being both the source and
+the sink of one report.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.checkers.base import Checker, SinkSpec, SourceSpec
+from repro.core.checkers.use_after_free import FREE_NAMES
+from repro.seg.graph import SEG
+
+
+class DoubleFreeChecker(Checker):
+    name = "double-free"
+    # free(null) twice is harmless; only a real allocation double-frees.
+    null_inert = True
+
+    def sources(self, prepared, seg: SEG) -> List[SourceSpec]:
+        specs: List[SourceSpec] = []
+        for call in self._call_sites(seg, FREE_NAMES):
+            specs.extend(self._call_arg_specs(call, "first free", SourceSpec))
+        return specs
+
+    def sinks(self, prepared, seg: SEG) -> List[SinkSpec]:
+        specs: List[SinkSpec] = []
+        for call in self._call_sites(seg, FREE_NAMES):
+            specs.extend(self._call_arg_specs(call, "second free", SinkSpec))
+        return specs

@@ -1,0 +1,57 @@
+"""Memory-leak checker (Saber/Fastcheck-style, simplified).
+
+Unlike the source-sink checkers, a leak is an *absence* property: a
+``malloc``'d value that neither reaches any ``free`` nor escapes the
+allocating region (returned, stored into caller-visible memory, or passed
+to a callee that might free/keep it).  The engine runs the same forward
+value-flow search from each allocation and classifies the outcome:
+
+- reaches a ``free`` anywhere (locally or through a callee summary) —
+  not a leak;
+- reaches a return slot, a store into caller-visible memory, or an
+  unknown callee — escapes, assumed freed elsewhere (soundy);
+- search exhausts with neither — reported as a leak.
+
+This checker is used by the ablation/extension benches; it demonstrates
+that the SEG machinery supports checker styles beyond plain
+source-to-sink reachability.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.checkers.base import Checker, SinkSpec, SourceSpec
+from repro.core.checkers.use_after_free import FREE_NAMES
+from repro.ir import cfg
+from repro.seg.graph import SEG
+
+
+class MemoryLeakChecker(Checker):
+    name = "memory-leak"
+    # The engine special-cases this flag: instead of reporting when a sink
+    # is reached, it reports when NO sink (free/escape) is reachable.
+    absence_mode = True
+
+    def sources(self, prepared, seg: SEG) -> List[SourceSpec]:
+        specs: List[SourceSpec] = []
+        for instr in prepared.function.all_instrs():
+            if isinstance(instr, cfg.Malloc) and not instr.synthetic:
+                specs.append(
+                    SourceSpec(
+                        vertex=("def", instr.dest),
+                        value_var=instr.dest,
+                        instr_uid=instr.uid,
+                        line=instr.line,
+                        description="allocated here",
+                    )
+                )
+        return specs
+
+    def sinks(self, prepared, seg: SEG) -> List[SinkSpec]:
+        """Sinks are the 'releases': free calls.  Escapes are detected
+        structurally by the engine (returns, stores, unknown calls)."""
+        specs: List[SinkSpec] = []
+        for call in self._call_sites(seg, FREE_NAMES):
+            specs.extend(self._call_arg_specs(call, "freed", SinkSpec))
+        return specs

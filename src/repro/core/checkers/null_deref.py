@@ -1,0 +1,41 @@
+"""Null-pointer-dereference checker.
+
+Source: an assignment of the ``null`` literal (constant 0) to a variable.
+Sink: any dereference.  Narrower than an industrial null checker (no
+may-fail allocators), but exercises the same value-flow machinery.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.checkers.base import Checker, SinkSpec, SourceSpec
+from repro.ir import cfg
+from repro.seg.graph import SEG
+
+
+class NullDereferenceChecker(Checker):
+    name = "null-deref"
+
+    def sources(self, prepared, seg: SEG) -> List[SourceSpec]:
+        specs: List[SourceSpec] = []
+        for instr in prepared.function.all_instrs():
+            if (
+                isinstance(instr, cfg.Assign)
+                and isinstance(instr.src, cfg.Const)
+                and instr.src.value == 0
+                and not instr.synthetic
+            ):
+                specs.append(
+                    SourceSpec(
+                        vertex=("def", instr.dest),
+                        value_var=instr.dest,
+                        instr_uid=instr.uid,
+                        line=instr.line,
+                        description="null assigned",
+                    )
+                )
+        return specs
+
+    def sinks(self, prepared, seg: SEG) -> List[SinkSpec]:
+        return self._deref_sinks(prepared, seg)

@@ -1,0 +1,43 @@
+"""Resource-leak checker (file handles, sockets).
+
+A generalization of the memory-leak checker demonstrating that the
+absence machinery is resource-agnostic: values born at an *acquire*
+call (``fopen``, ``socket``, ...) must reach a *release* call
+(``fclose``, ``close``, ...) or escape the acquiring region.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.checkers.base import Checker, SinkSpec, SourceSpec
+from repro.seg.graph import SEG
+
+ACQUIRE_NAMES = frozenset({"fopen", "open", "socket", "acquire_lock", "opendir"})
+RELEASE_NAMES = frozenset({"fclose", "close", "release_lock", "closedir"})
+
+
+class ResourceLeakChecker(Checker):
+    name = "resource-leak"
+    absence_mode = True
+
+    def sources(self, prepared, seg: SEG) -> List[SourceSpec]:
+        specs: List[SourceSpec] = []
+        for call in self._call_sites(seg, ACQUIRE_NAMES):
+            if call.dest is not None:
+                specs.append(
+                    SourceSpec(
+                        vertex=("def", call.dest),
+                        value_var=call.dest,
+                        instr_uid=call.uid,
+                        line=call.line,
+                        description=f"acquired via {call.callee}",
+                    )
+                )
+        return specs
+
+    def sinks(self, prepared, seg: SEG) -> List[SinkSpec]:
+        specs: List[SinkSpec] = []
+        for call in self._call_sites(seg, RELEASE_NAMES):
+            specs.extend(self._call_arg_specs(call, "released", SinkSpec))
+        return specs

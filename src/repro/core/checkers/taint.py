@@ -1,0 +1,82 @@
+"""Taint checkers (paper Section 4.1 and Table 2).
+
+A taint issue is a value-flow path from an *input* statement to a
+*sensitive* statement.  Two concrete instances follow the paper:
+
+- **path traversal** (CWE-23): user input (``fgetc``, ``recv``, ...)
+  reaching a file operation (``fopen``, ``open``, ...);
+- **data transmission** (CWE-402): sensitive data (``getpass``, ...)
+  reaching an output channel (``sendto``, ``write``, ...).
+
+As in the paper (and FlowDroid's evaluation mode it cites), sanitization
+is not modeled.  Taint survives arithmetic and string-like operations, so
+these checkers set ``through_ops``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.core.checkers.base import Checker, SinkSpec, SourceSpec
+from repro.ir import cfg
+from repro.seg.graph import SEG
+
+
+class TaintChecker(Checker):
+    """Generic taint checker parameterized by source/sink callee names."""
+
+    through_ops = True
+
+    def __init__(
+        self,
+        name: str,
+        source_calls: Iterable[str],
+        sink_calls: Iterable[str],
+    ) -> None:
+        self.name = name
+        self.source_calls = frozenset(source_calls)
+        self.sink_calls = frozenset(sink_calls)
+
+    def sources(self, prepared, seg: SEG) -> List[SourceSpec]:
+        specs: List[SourceSpec] = []
+        for call in self._call_sites(seg, self.source_calls):
+            if call.dest is not None:
+                specs.append(
+                    SourceSpec(
+                        vertex=("def", call.dest),
+                        value_var=call.dest,
+                        instr_uid=call.uid,
+                        line=call.line,
+                        description=f"input from {call.callee}",
+                    )
+                )
+        return specs
+
+    def sinks(self, prepared, seg: SEG) -> List[SinkSpec]:
+        specs: List[SinkSpec] = []
+        for call in self._call_sites(seg, self.sink_calls):
+            specs.extend(
+                self._call_arg_specs(call, f"reaches {call.callee}", SinkSpec)
+            )
+        return specs
+
+
+PATH_TRAVERSAL_SOURCES = ("fgetc", "fgets", "recv", "read_input", "getenv", "scanf")
+PATH_TRAVERSAL_SINKS = ("fopen", "open", "opendir", "remove", "rename")
+
+DATA_TRANSMISSION_SOURCES = ("getpass", "read_key", "load_secret", "read_password")
+DATA_TRANSMISSION_SINKS = ("sendto", "send", "write_socket", "log_msg")
+
+
+class PathTraversalChecker(TaintChecker):
+    def __init__(self) -> None:
+        super().__init__(
+            "path-traversal", PATH_TRAVERSAL_SOURCES, PATH_TRAVERSAL_SINKS
+        )
+
+
+class DataTransmissionChecker(TaintChecker):
+    def __init__(self) -> None:
+        super().__init__(
+            "data-transmission", DATA_TRANSMISSION_SOURCES, DATA_TRANSMISSION_SINKS
+        )

@@ -1,0 +1,34 @@
+"""Use-after-free checker.
+
+Source: the pointer argument of ``free(p)`` — from that statement on,
+``p``'s value is dangling.  Sink: any dereference (load or store through
+the pointer).  A report means the dangling value reaches a dereference on
+a path whose condition is satisfiable — the paper's primary evaluation
+checker (Table 1).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.checkers.base import Checker, SinkSpec, SourceSpec
+from repro.seg.graph import SEG
+
+FREE_NAMES = frozenset({"free", "release", "dispose", "kfree"})
+
+
+class UseAfterFreeChecker(Checker):
+    name = "use-after-free"
+    # free(null) is a no-op, so a null tracked value cannot dangle.
+    null_inert = True
+
+    def sources(self, prepared, seg: SEG) -> List[SourceSpec]:
+        specs: List[SourceSpec] = []
+        for call in self._call_sites(seg, FREE_NAMES):
+            specs.extend(
+                self._call_arg_specs(call, "freed here", SourceSpec)
+            )
+        return specs
+
+    def sinks(self, prepared, seg: SEG) -> List[SinkSpec]:
+        return self._deref_sinks(prepared, seg)

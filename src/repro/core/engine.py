@@ -1,0 +1,1143 @@
+"""The Pinpoint engine: demand-driven, compositional global value-flow
+analysis (paper Section 3.3).
+
+One bottom-up pass over the call graph per checker.  For each function:
+
+1. start value-flow searches at (a) every formal-parameter slot, (b)
+   every local checker source, (c) every call-site receiver whose callee
+   has a VF2 summary (the callee returns a source-born value), and (d)
+   every call-site actual whose callee has a VF3 summary (the call makes
+   the actual's value source-born, e.g. freed);
+2. follow SEG copy edges forward; at call sites jump through callee VF1
+   summaries; record VF1-VF4 summaries at interface endpoints;
+3. a source-born value arriving at a sink (locally or via a callee VF4)
+   is a bug *candidate*: its global path condition is assembled via
+   Equations (1)-(3) with cloning-based context sensitivity, filtered by
+   the linear-time solver, and finally decided by the SMT solver.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.context import Context, ContextAllocator, clone_term, ctx_bvar, ctx_ivar
+from repro.core.checkers.base import Checker, SinkSpec, SourceSpec
+from repro.core.pipeline import PreparedFunction, PreparedModule, prepare_source
+from repro.core.report import BugReport, CheckResult, EngineStats, Location
+from repro.core.summaries import (
+    FunctionSummaries,
+    RVSummary,
+    VFSummary,
+    interface_params,
+    receiver_for_slot,
+    return_slots,
+)
+from repro.ir import cfg
+from repro.ir.dominance import dominators
+from repro.lang import ast
+from repro.seg.builder import build_seg
+from repro.seg.conditions import ConditionBuilder, Constraint, TRUE_CONSTRAINT
+from repro.seg.graph import SEG, def_key, vertex_var
+from repro.smt import terms as T
+from repro.smt.linear_solver import LinearSolver
+from repro.smt.solver import Result, SMTSolver
+from repro.smt.terms import Term
+
+
+def _format_witness(model, limit: int = 4) -> str:
+    """Render up to ``limit`` interesting literals of an SMT model.
+
+    Literals over branch temporaries (``%t…``) or context clones
+    (``x.0~3``) are noise for the reader; prefer atoms that only mention
+    source-level variables of the reporting function.
+    """
+    if not model:
+        return ""
+    literals = []
+    seen = set()
+    for atom, value in model.items():
+        if not atom.is_comparison():
+            continue
+        names = atom.variables()
+        if not names:
+            continue
+        if any("~" in name or name.startswith("%") or "$" in name for name in names):
+            continue
+        literal = atom if value else T.not_(atom)
+        if literal.ident in seen:
+            continue
+        seen.add(literal.ident)
+        literals.append(str(literal))
+        if len(literals) >= limit:
+            break
+    return " and ".join(literals)
+
+
+@dataclass
+class EngineConfig:
+    """Analysis knobs.  Defaults follow the paper's evaluation setup."""
+
+    max_call_depth: int = 6  # nested calling contexts (paper: six levels)
+    use_linear_filter: bool = True  # ablation: skip the linear pre-filter
+    use_smt: bool = True  # ablation: path-insensitive mode when False
+    max_paths_per_source: int = 64  # demand-driven search budget
+    max_reports_per_function: int = 32
+
+
+# ----------------------------------------------------------------------
+# Search bookkeeping
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _TraceNode:
+    """Linked-list trace of the search; reconstructed into a path."""
+
+    kind: str  # 'vertex' | 'vf1' | 'origin-vf2' | 'origin-vf3'
+    payload: tuple
+    prev: Optional["_TraceNode"]
+
+
+@dataclass(frozen=True)
+class _Origin:
+    """Where the tracked value was born, for reporting."""
+
+    function: str
+    line: int
+    variable: str
+    instr_uid: int
+    # Summary that carried the source into this function, if any.
+    via_summary: Optional[VFSummary] = None
+    via_call: Optional[cfg.Call] = None
+    # The SSA variable in the *searching* function that first holds the
+    # tracked value.  Checkers with null-is-inert semantics (free(null)
+    # is a no-op) require this value to be non-null for a report.
+    root_var: str = ""
+
+
+class PinpointFunction:
+    """Per-function analysis state: SEG + condition builder + dominance."""
+
+    def __init__(self, prepared: PreparedFunction) -> None:
+        self.prepared = prepared
+        self.seg: SEG = build_seg(prepared)
+        self.conditions = ConditionBuilder(self.seg, prepared.function)
+        self.dom = dominators(prepared.function)
+        # Statement uid -> (block label, index) for happens-after checks.
+        self.position: Dict[int, Tuple[str, int]] = {}
+        for label in prepared.function.block_order():
+            block = prepared.function.blocks[label]
+            for index, instr in enumerate(block.all_instrs()):
+                self.position[instr.uid] = (label, index)
+        self._reach_cache: Dict[str, Set[str]] = {}
+
+    def happens_after(self, first_uid: int, second_uid: int) -> bool:
+        """May ``second`` execute after ``first``?  (CFG reachability;
+        within one block, instruction order; strict for the same uid)."""
+        if first_uid == second_uid:
+            return False
+        first = self.position.get(first_uid)
+        second = self.position.get(second_uid)
+        if first is None or second is None:
+            return True  # be conservative
+        if first[0] == second[0]:
+            if second[1] > first[1]:
+                return True
+            # Same block, earlier index: only via a cycle through the block.
+            return first[0] in self._reachable(first[0])
+        return second[0] in self._reachable(first[0])
+
+    def _reachable(self, label: str) -> Set[str]:
+        cached = self._reach_cache.get(label)
+        if cached is not None:
+            return cached
+        blocks = self.prepared.function.blocks
+        seen: Set[str] = set()
+        stack = list(blocks[label].succs)
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(blocks[current].succs)
+        self._reach_cache[label] = seen
+        return seen
+
+
+class Pinpoint:
+    """Facade: prepare once, run any number of checkers."""
+
+    def __init__(self, module: PreparedModule, config: Optional[EngineConfig] = None) -> None:
+        self.module = module
+        self.config = config or EngineConfig()
+        self.functions: Dict[str, PinpointFunction] = {}
+        start = time.perf_counter()
+        for name in module.order:
+            self.functions[name] = PinpointFunction(module[name])
+        self.seg_seconds = time.perf_counter() - start
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_source(cls, source: str, config: Optional[EngineConfig] = None) -> "Pinpoint":
+        return cls(prepare_source(source), config)
+
+    @classmethod
+    def from_program(cls, program: ast.Program, config: Optional[EngineConfig] = None) -> "Pinpoint":
+        from repro.core.pipeline import prepare_module
+
+        return cls(prepare_module(program), config)
+
+    # ------------------------------------------------------------------
+    def seg_size(self) -> Tuple[int, int]:
+        vertices = sum(f.seg.vertex_count() for f in self.functions.values())
+        edges = sum(f.seg.edge_count() for f in self.functions.values())
+        return vertices, edges
+
+    # ------------------------------------------------------------------
+    def check(self, checker: Checker) -> CheckResult:
+        """Run one checker over the whole program."""
+        run = _CheckerRun(self, checker)
+        return run.execute()
+
+
+class _CheckerRun:
+    """One checker's bottom-up pass (summaries + bug search)."""
+
+    def __init__(self, engine: Pinpoint, checker: Checker) -> None:
+        self.engine = engine
+        self.checker = checker
+        self.config = engine.config
+        self.module = engine.module
+        self.linear = LinearSolver()
+        self.smt = SMTSolver()
+        self.contexts = ContextAllocator()
+        self.summaries: Dict[str, FunctionSummaries] = {}
+        self.stats = EngineStats()
+        self.reports: Dict[tuple, BugReport] = {}
+        self.absence_mode = getattr(checker, "absence_mode", False)
+
+    # ------------------------------------------------------------------
+    def execute(self) -> CheckResult:
+        start = time.perf_counter()
+        self.stats.functions = len(self.engine.functions)
+        vertices, edges = self.engine.seg_size()
+        self.stats.seg_vertices = vertices
+        self.stats.seg_edges = edges
+        self.stats.seconds_seg = self.engine.seg_seconds
+        for name in self.module.order:
+            self._process_function(name)
+        self.stats.seconds_search = time.perf_counter() - start
+        self.stats.smt_queries = self.smt.queries
+        self.stats.linear_queries = self.linear.queries
+        self.stats.reported = len(self.reports)
+        result = CheckResult(self.checker.name, list(self.reports.values()), self.stats)
+        return result
+
+    # ------------------------------------------------------------------
+    def _process_function(self, name: str) -> None:
+        pf = self.engine.functions[name]
+        prepared = pf.prepared
+        summaries = FunctionSummaries(name)
+        self.summaries[name] = summaries
+        self._build_rv_summaries(pf, summaries)
+
+        # Intrinsic source/sink specs (free, fgetc, ...) only apply to
+        # *external* callees; a defined function's behaviour comes from
+        # its summaries, not from its name.
+        defined = self.module.functions
+        call_uids = {call.uid for call in pf.seg.call_sites if call.callee in defined}
+
+        sinks = {
+            spec.vertex: spec
+            for spec in self.checker.sinks(prepared, pf.seg)
+            if spec.instr_uid not in call_uids
+        }
+        sources = [
+            spec
+            for spec in self.checker.sources(prepared, pf.seg)
+            if spec.instr_uid not in call_uids
+        ]
+
+        # (a) parameter-slot searches -> VF1/VF3/VF4 summaries.
+        params = interface_params(prepared.function)
+        for slot, param in enumerate(params):
+            self._search(
+                pf,
+                summaries,
+                start_vertex=def_key(param),
+                origin=None,
+                param_slot=slot,
+                after_uid=None,
+                sinks=sinks,
+                local_sources=sources,
+            )
+
+        # (b) local sources.  In absence mode (memory leak) the report
+        # logic inverts: reaching a sink is GOOD, so only the dedicated
+        # absence analysis runs.
+        for spec in sources:
+            if self.absence_mode:
+                self._check_absence(pf, spec, sinks)
+                continue
+            origin = _Origin(
+                name, spec.line, spec.value_var, spec.instr_uid,
+                root_var=spec.value_var,
+            )
+            self._search(
+                pf,
+                summaries,
+                start_vertex=def_key(spec.value_var),
+                origin=origin,
+                param_slot=None,
+                after_uid=spec.instr_uid,
+                sinks=sinks,
+                local_sources=sources,
+                origin_trace=_TraceNode("vertex", (name, spec.vertex), None),
+                extra_starts=self._backward_closure(pf, spec.value_var),
+            )
+
+        # (c) receivers of calls whose callee returns a source-born value
+        # (VF2), and (d) actuals whose callee sources them (VF3).
+        for call in pf.seg.call_sites if not self.absence_mode else ():
+            callee_summaries = self.summaries.get(call.callee)
+            if callee_summaries is None:
+                continue
+            for vf2 in callee_summaries.vf2:
+                receiver = receiver_for_slot(call, vf2.ret_slot or 0)
+                if receiver is None:
+                    continue
+                origin = _Origin(
+                    vf2.origin_function or vf2.function,
+                    vf2.origin_line or vf2.source_line,
+                    vf2.origin_var or vf2.source_var,
+                    vf2.source_uid,
+                    via_summary=vf2,
+                    via_call=call,
+                    root_var=receiver,
+                )
+                trace = _TraceNode("origin-vf2", (call, vf2), None)
+                self._search(
+                    pf,
+                    summaries,
+                    start_vertex=def_key(receiver),
+                    origin=origin,
+                    param_slot=None,
+                    after_uid=call.uid,
+                    sinks=sinks,
+                    local_sources=sources,
+                    origin_trace=trace,
+                )
+            for vf3 in callee_summaries.vf3:
+                actual = self._actual_for_slot(call, vf3.param_slot or 0)
+                if not isinstance(actual, cfg.Var):
+                    continue
+                origin = _Origin(
+                    vf3.origin_function or vf3.function,
+                    vf3.origin_line or vf3.sink_line,
+                    vf3.origin_var or vf3.sink_var,
+                    vf3.sink_uid,
+                    via_summary=vf3,
+                    via_call=call,
+                    root_var=actual.name,
+                )
+                trace = _TraceNode("origin-vf3", (call, vf3), None)
+                self._search(
+                    pf,
+                    summaries,
+                    start_vertex=def_key(actual.name),
+                    origin=origin,
+                    param_slot=None,
+                    after_uid=call.uid,
+                    sinks=sinks,
+                    local_sources=sources,
+                    origin_trace=trace,
+                    extra_starts=self._backward_closure(pf, actual.name),
+                )
+
+        self.stats.summaries_rv += len(summaries.rv)
+        self.stats.summaries_vf += (
+            len(summaries.vf1) + len(summaries.vf2) + len(summaries.vf3) + len(summaries.vf4)
+        )
+
+    # ------------------------------------------------------------------
+    # RV summaries
+    # ------------------------------------------------------------------
+    def _build_rv_summaries(self, pf: PinpointFunction, summaries: FunctionSummaries) -> None:
+        function = pf.prepared.function
+        for slot, value in enumerate(return_slots(function)):
+            if value is None:
+                continue
+            if isinstance(value, cfg.Var):
+                constraint = pf.conditions.dd(value.name)
+            else:
+                constraint = TRUE_CONSTRAINT
+            summaries.rv[slot] = RVSummary(function.name, slot, value, constraint)
+
+    # ------------------------------------------------------------------
+    # Value-flow search
+    # ------------------------------------------------------------------
+    def _backward_closure(self, pf: PinpointFunction, var: str) -> List[tuple]:
+        """Def vertices whose value flows into ``var`` via copy edges —
+        the upstream aliases of a source-born value (all of them dangle
+        once the value is freed).
+
+        The walk also crosses call junctions backward: a call receiver's
+        value came from the actuals the callee's VF1 summaries connect it
+        to (``q = id(p)`` makes ``p`` an upstream alias of ``q``).
+        """
+        start = def_key(var)
+        closure = [start]
+        seen = {start}
+        stack = [start]
+        while stack:
+            vertex = stack.pop()
+            for edge in pf.seg.copy_predecessors(vertex):
+                src = edge.src
+                if src in seen or src[0] != "def":
+                    continue
+                seen.add(src)
+                closure.append(src)
+                stack.append(src)
+            # Receiver: map back through the callee's VF1 summaries.
+            name = vertex[1] if vertex[0] == "def" else None
+            if name is None:
+                continue
+            call = pf.seg.def_instr.get(name)
+            if not isinstance(call, cfg.Call):
+                continue
+            callee_summaries = self.summaries.get(call.callee)
+            if callee_summaries is None:
+                continue
+            slot = 0 if call.dest == name else None
+            if slot is None and name in call.extra_receivers:
+                slot = 1 + call.extra_receivers.index(name)
+            if slot is None:
+                continue
+            for vf1 in callee_summaries.vf1:
+                if vf1.ret_slot != slot or vf1.param_slot is None:
+                    continue
+                actual = self._actual_for_slot(call, vf1.param_slot)
+                if isinstance(actual, cfg.Var):
+                    actual_vertex = def_key(actual.name)
+                    if actual_vertex not in seen:
+                        seen.add(actual_vertex)
+                        closure.append(actual_vertex)
+                        stack.append(actual_vertex)
+        return closure
+
+    def _search(
+        self,
+        pf: PinpointFunction,
+        summaries: FunctionSummaries,
+        start_vertex,
+        origin: Optional[_Origin],
+        param_slot: Optional[int],
+        after_uid: Optional[int],
+        sinks: Dict[tuple, SinkSpec],
+        local_sources: List[SourceSpec],
+        origin_trace: Optional[_TraceNode] = None,
+        extra_starts: Optional[List[tuple]] = None,
+    ) -> None:
+        """DFS over copy edges from ``start_vertex`` (plus any
+        ``extra_starts``, e.g. the backward alias closure of a source).
+
+        ``origin`` is set for source-born searches (bug reports possible);
+        ``param_slot`` for interface searches (summaries recorded).
+        """
+        function_name = pf.prepared.function.name
+        source_uids = {spec.instr_uid for spec in local_sources}
+        source_by_vertex = {spec.vertex: spec for spec in local_sources}
+        ret = pf.seg.return_instr
+        ret_operands: Dict[tuple, int] = {}
+        if ret is not None:
+            for slot, operand in enumerate(return_slots(pf.prepared.function)):
+                if isinstance(operand, cfg.Var):
+                    ret_operands[("use", operand.name, ret.uid)] = slot
+        call_by_uid = {call.uid: call for call in pf.seg.call_sites}
+
+        root = origin_trace or _TraceNode("vertex", (function_name, start_vertex), None)
+        stack: List[Tuple[tuple, _TraceNode, int]] = [(start_vertex, root, 0)]
+        visited: Set[tuple] = {start_vertex}
+        for extra in extra_starts or ():
+            if extra not in visited:
+                visited.add(extra)
+                stack.append(
+                    (extra, _TraceNode("vertex", (function_name, extra), root), 0)
+                )
+        endpoints = 0
+
+        while stack:
+            vertex, trace, hops = stack.pop()
+            self.stats.search_steps += 1
+            if endpoints >= self.config.max_paths_per_source:
+                break
+            for edge in pf.seg.out_edges.get(vertex, ()):  # noqa: B909
+                target = edge.dst
+                if not edge.is_copy and not self.checker.through_ops:
+                    continue
+                if not edge.is_copy:
+                    # Traverse operator vertices transparently (taint).
+                    if target[0] == "op":
+                        for onward in pf.seg.out_edges.get(target, ()):  # noqa: B909
+                            if onward.dst not in visited and onward.dst[0] == "def":
+                                visited.add(onward.dst)
+                                stack.append(
+                                    (
+                                        onward.dst,
+                                        _TraceNode(
+                                            "vertex", (function_name, onward.dst), trace
+                                        ),
+                                        hops + 1,
+                                    )
+                                )
+                    continue
+                if target in visited:
+                    continue
+                visited.add(target)
+                new_trace = _TraceNode("vertex", (function_name, target), trace)
+
+                if target[0] == "def":
+                    stack.append((target, new_trace, hops + 1))
+                    continue
+
+                # Use anchors: endpoints and call/return junctions.
+                stmt_uid = target[2]
+
+                # The happens-after filter applies to *endpoints* (sinks
+                # and call descents), not to propagation: a copy made
+                # before the free still aliases the dangling value.
+                ordered = (
+                    origin is None
+                    or after_uid is None
+                    or pf.happens_after(after_uid, stmt_uid)
+                )
+
+                sink = sinks.get(target)
+                if sink is not None:
+                    endpoints += 1
+                    if origin is not None:
+                        if ordered:
+                            self._candidate_local(pf, origin, new_trace, sink)
+                    elif param_slot is not None:
+                        self._record_vf(
+                            summaries, "vf4", pf, param_slot, new_trace, sink=sink
+                        )
+
+                source_here = source_by_vertex.get(target)
+                if source_here is not None and param_slot is not None:
+                    endpoints += 1
+                    self._record_vf(
+                        summaries, "vf3", pf, param_slot, new_trace, sink=source_here
+                    )
+
+                ret_slot = ret_operands.get(target)
+                if ret_slot is not None:
+                    endpoints += 1
+                    if origin is not None:
+                        self._record_vf2(summaries, pf, origin, new_trace, ret_slot)
+                    elif param_slot is not None:
+                        self._record_vf(
+                            summaries, "vf1", pf, param_slot, new_trace, ret_slot=ret_slot
+                        )
+
+                call = call_by_uid.get(stmt_uid)
+                if call is not None and call.callee in self.summaries:
+                    arg_slot = self._arg_slot(call, target[1])
+                    if arg_slot is not None:
+                        self._through_call(
+                            pf,
+                            summaries,
+                            call,
+                            arg_slot,
+                            origin if ordered else None,
+                            param_slot,
+                            new_trace,
+                            stack,
+                            visited,
+                            hops,
+                        )
+
+    # ------------------------------------------------------------------
+    def _arg_slot(self, call: cfg.Call, var_name: str) -> Optional[int]:
+        for index, arg in enumerate(call.args):
+            if isinstance(arg, cfg.Var) and arg.name == var_name:
+                return index
+        return None
+
+    def _actual_for_slot(self, call: cfg.Call, slot: int) -> Optional[cfg.Operand]:
+        if slot < len(call.args):
+            return call.args[slot]
+        return None
+
+    def _through_call(
+        self,
+        pf: PinpointFunction,
+        summaries: FunctionSummaries,
+        call: cfg.Call,
+        arg_slot: int,
+        origin: Optional[_Origin],
+        param_slot: Optional[int],
+        trace: _TraceNode,
+        stack,
+        visited,
+        hops: int,
+    ) -> None:
+        callee_summaries = self.summaries[call.callee]
+        function_name = pf.prepared.function.name
+
+        # VF4 in the callee: tracked value reaches a sink inside.
+        for vf4 in callee_summaries.vf4_from(arg_slot):
+            if origin is not None:
+                self._candidate_via_callee(pf, origin, trace, call, vf4)
+            elif param_slot is not None:
+                self._record_vf(
+                    summaries,
+                    "vf4",
+                    pf,
+                    param_slot,
+                    _TraceNode("vf1", (call, vf4), trace),
+                    nested=vf4,
+                )
+
+        # VF3 in the callee, seen from a parameter search: the parameter's
+        # value is sourced deeper down -> transitive VF3.
+        if param_slot is not None:
+            for vf3 in callee_summaries.vf3_from(arg_slot):
+                self._record_vf(
+                    summaries,
+                    "vf3",
+                    pf,
+                    param_slot,
+                    _TraceNode("vf1", (call, vf3), trace),
+                    nested=vf3,
+                )
+
+        # VF1: value flows through the callee back to a receiver.
+        for vf1 in callee_summaries.vf1_from(arg_slot):
+            receiver = receiver_for_slot(call, vf1.ret_slot or 0)
+            if receiver is None:
+                continue
+            receiver_vertex = def_key(receiver)
+            if receiver_vertex in visited:
+                continue
+            visited.add(receiver_vertex)
+            jump = _TraceNode("vf1", (call, vf1), trace)
+            stack.append(
+                (
+                    receiver_vertex,
+                    _TraceNode("vertex", (function_name, receiver_vertex), jump),
+                    hops + 1,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Summary recording
+    # ------------------------------------------------------------------
+    def _trace_vertices(self, trace: _TraceNode) -> List[tuple]:
+        """Trace nodes oldest-first."""
+        nodes = []
+        node: Optional[_TraceNode] = trace
+        while node is not None:
+            nodes.append(node)
+            node = node.prev
+        nodes.reverse()
+        return nodes
+
+    def _local_path(self, trace: _TraceNode, function: str) -> List[tuple]:
+        """The suffix of vertices within ``function`` (after the last
+        junction), used for local PC computation."""
+        path = []
+        node: Optional[_TraceNode] = trace
+        while node is not None and node.kind == "vertex":
+            if node.payload[0] == function:
+                path.append(node.payload[1])
+            node = node.prev
+        path.reverse()
+        return path
+
+    def _assemble(self, pf: PinpointFunction, trace: _TraceNode) -> Constraint:
+        """Assemble the global constraint for a trace (Eqs. 1-3)."""
+        nodes = self._trace_vertices(trace)
+        pieces: List[Term] = []
+        params: List[Tuple[str, str, Optional[Context]]] = []  # (func, param, ctx)
+        all_params: Set[Tuple[str, Optional[Context]]] = set()
+        receiver_queue: List[Tuple[str, str, Optional[Context]]] = []
+
+        current_run: List[tuple] = []
+        run_function = pf.prepared.function.name
+        previous_vertex: Optional[tuple] = None
+
+        def flush_run():
+            nonlocal current_run
+            if not current_run:
+                return
+            constraint = pf.conditions.pc(current_run)
+            pieces.append(constraint.term)
+            for param in constraint.params:
+                all_params.add((param, None))
+            for receiver in constraint.receivers:
+                receiver_queue.append((run_function, receiver, None))
+            current_run = []
+
+        for node in nodes:
+            if node.kind == "vertex":
+                func, vertex = node.payload
+                current_run.append(vertex)
+                previous_vertex = vertex
+            elif node.kind == "vf1":
+                call, summary = node.payload
+                flush_run()
+                self._splice_summary(
+                    pf, call, summary, pieces, all_params, receiver_queue,
+                    link_entry=previous_vertex,
+                )
+            elif node.kind in ("origin-vf2", "origin-vf3"):
+                call, summary = node.payload
+                self._splice_summary(
+                    pf, call, summary, pieces, all_params, receiver_queue,
+                    link_entry=None,
+                )
+
+        flush_run()
+
+        constraint = Constraint(T.and_(*pieces))
+        term = constraint.term
+
+        # Lazily bind surfaced parameters and resolve receivers (Eqs. 2/3).
+        term = self._resolve(term, all_params, receiver_queue)
+        return Constraint(term)
+
+    def _splice_summary(
+        self,
+        pf: PinpointFunction,
+        call: cfg.Call,
+        summary: VFSummary,
+        pieces: List[Term],
+        all_params: Set[Tuple[str, Optional[Context]]],
+        receiver_queue: List[Tuple[str, str, Optional[Context]]],
+        link_entry: Optional[tuple],
+    ) -> None:
+        """Clone a callee VF summary into a fresh context and add the
+        junction equalities of Equation (3)."""
+        context = self.contexts.new(summary.function, call, None)
+        if context.depth > self.config.max_call_depth:
+            return
+        cloned = clone_term(summary.constraint.term, context)
+        pieces.append(cloned)
+
+        # The call statement itself must be reachable: its control
+        # dependence in the caller joins the condition (crucial for
+        # origin splices, whose trace has no caller-side vertex at the
+        # call to anchor CD through the local PC).
+        call_cd = pf.conditions.cd(call.uid)
+        pieces.append(call_cd.term)
+        for param in call_cd.params:
+            all_params.add((param, None))
+        for receiver in call_cd.receivers:
+            receiver_queue.append((pf.prepared.function.name, receiver, None))
+
+        callee_pf = self.engine.functions.get(summary.function)
+        callee_fn = callee_pf.prepared.function if callee_pf else None
+
+        # Bind the callee's parameter dependencies to this call's actuals.
+        if callee_fn is not None:
+            iface = interface_params(callee_fn)
+            slot_of = {name: i for i, name in enumerate(iface)}
+            bind_params = set(summary.constraint.params)
+            if summary.param_slot is not None and summary.param_slot < len(iface):
+                bind_params.add(iface[summary.param_slot])
+            for param in bind_params:
+                slot = slot_of.get(param)
+                if slot is None or slot >= len(call.args):
+                    continue
+                actual = call.args[slot]
+                renamed_param = ctx_ivar(param, context)
+                if isinstance(actual, cfg.Var):
+                    pieces.append(T.eq(renamed_param, T.int_var(actual.name)))
+                    pieces.append(
+                        T.iff(ctx_bvar(param, context), T.bool_var(actual.name))
+                    )
+                    caller_dd = pf.conditions.dd(actual.name)
+                    pieces.append(caller_dd.term)
+                    for p2 in caller_dd.params:
+                        all_params.add((p2, None))
+                    for r2 in caller_dd.receivers:
+                        receiver_queue.append(
+                            (pf.prepared.function.name, r2, None)
+                        )
+                else:
+                    pieces.append(T.eq(renamed_param, T.const(actual.value)))
+
+            # Return junction: callee's returned value == caller receiver.
+            if summary.ret_slot is not None:
+                slots = return_slots(callee_fn)
+                if summary.ret_slot < len(slots):
+                    value = slots[summary.ret_slot]
+                    receiver = receiver_for_slot(call, summary.ret_slot)
+                    if receiver is not None and value is not None:
+                        if isinstance(value, cfg.Var):
+                            pieces.append(
+                                T.eq(ctx_ivar(value.name, context), T.int_var(receiver))
+                            )
+                            pieces.append(
+                                T.iff(
+                                    ctx_bvar(value.name, context), T.bool_var(receiver)
+                                )
+                            )
+                        else:
+                            pieces.append(
+                                T.eq(T.int_var(receiver), T.const(value.value))
+                            )
+
+        # The summary's own receiver deps were resolved when it was
+        # created; nothing further to enqueue for it.
+        del link_entry
+
+    def _resolve(
+        self,
+        term: Term,
+        params: Set[Tuple[str, Optional[Context]]],
+        receiver_queue: List[Tuple[str, str, Optional[Context]]],
+    ) -> Term:
+        """Resolve receiver dependencies via RV summaries (Eq. 2).
+
+        Root-context parameters stay free variables.  Receivers are
+        expanded by cloning the callee's RV summary and binding its
+        parameters to the call's actuals, recursively, bounded by the
+        context depth limit.
+        """
+        del params  # root parameters stay free
+        pieces: List[Term] = [term]
+        processed: Set[Tuple[str, str, Optional[Context]]] = set()
+        queue = list(receiver_queue)
+        while queue:
+            func_name, receiver, context = queue.pop()
+            key = (func_name, receiver, context)
+            if key in processed:
+                continue
+            processed.add(key)
+            pf = self.engine.functions.get(func_name)
+            if pf is None:
+                continue
+            call = pf.seg.def_instr.get(receiver)
+            if not isinstance(call, cfg.Call):
+                continue
+            callee_summaries = self.summaries.get(call.callee)
+            callee_pf = self.engine.functions.get(call.callee)
+            if callee_summaries is None or callee_pf is None:
+                continue
+            slot = 0 if call.dest == receiver else None
+            if slot is None:
+                try:
+                    slot = 1 + call.extra_receivers.index(receiver)
+                except ValueError:
+                    continue
+            rv = callee_summaries.rv.get(slot)
+            if rv is None:
+                continue
+            new_context = self.contexts.new(call.callee, call, context)
+            if new_context.depth > self.config.max_call_depth:
+                continue
+            cloned = clone_term(rv.constraint.term, new_context)
+            receiver_term = ctx_ivar(receiver, context)
+            receiver_bool = ctx_bvar(receiver, context)
+            if isinstance(rv.value, cfg.Var):
+                pieces.append(T.eq(receiver_term, ctx_ivar(rv.value.name, new_context)))
+                pieces.append(T.iff(receiver_bool, ctx_bvar(rv.value.name, new_context)))
+            else:
+                pieces.append(T.eq(receiver_term, T.const(rv.value.value)))
+            pieces.append(cloned)
+            # Bind the RV summary's parameters to this call's actuals.
+            callee_fn = callee_pf.prepared.function
+            iface = interface_params(callee_fn)
+            slot_of = {name: i for i, name in enumerate(iface)}
+            for param in rv.constraint.params:
+                pslot = slot_of.get(param)
+                if pslot is None or pslot >= len(call.args):
+                    continue
+                actual = call.args[pslot]
+                renamed = ctx_ivar(param, new_context)
+                if isinstance(actual, cfg.Var):
+                    pieces.append(T.eq(renamed, ctx_ivar(actual.name, context)))
+                    pieces.append(
+                        T.iff(ctx_bvar(param, new_context), ctx_bvar(actual.name, context))
+                    )
+                    caller_dd = pf.conditions.dd(actual.name)
+                    pieces.append(clone_term(caller_dd.term, context))
+                    for r2 in caller_dd.receivers:
+                        queue.append((func_name, r2, context))
+                else:
+                    pieces.append(T.eq(renamed, T.const(actual.value)))
+        return T.and_(*pieces)
+
+    # ------------------------------------------------------------------
+    def _record_vf(
+        self,
+        summaries: FunctionSummaries,
+        kind: str,
+        pf: PinpointFunction,
+        param_slot: int,
+        trace: _TraceNode,
+        sink: Optional[SinkSpec] = None,
+        ret_slot: Optional[int] = None,
+        nested: Optional[VFSummary] = None,
+    ) -> None:
+        constraint = self._summary_constraint(pf, trace)
+        function = pf.prepared.function
+        path = tuple(
+            node.payload[1]
+            for node in self._trace_vertices(trace)
+            if node.kind == "vertex"
+        )
+        summary = VFSummary(
+            kind=kind,
+            function=function.name,
+            path=path,
+            constraint=constraint,
+            param_slot=param_slot,
+            ret_slot=ret_slot,
+            sink_line=sink.line if sink else (nested.sink_line if nested else 0),
+            sink_var=sink.value_var if sink else (nested.sink_var if nested else ""),
+            sink_uid=sink.instr_uid if sink else (nested.sink_uid if nested else 0),
+            origin_function=nested.origin_function or nested.function if nested else "",
+            origin_line=(nested.origin_line or nested.sink_line) if nested else 0,
+            origin_var=(nested.origin_var or nested.sink_var) if nested else "",
+        )
+        getattr(summaries, kind).append(summary)
+
+    def _record_vf2(
+        self,
+        summaries: FunctionSummaries,
+        pf: PinpointFunction,
+        origin: _Origin,
+        trace: _TraceNode,
+        ret_slot: int,
+    ) -> None:
+        constraint = self._summary_constraint(pf, trace)
+        function = pf.prepared.function
+        path = tuple(
+            node.payload[1]
+            for node in self._trace_vertices(trace)
+            if node.kind == "vertex"
+        )
+        summaries.vf2.append(
+            VFSummary(
+                kind="vf2",
+                function=function.name,
+                path=path,
+                constraint=constraint,
+                ret_slot=ret_slot,
+                source_line=origin.line,
+                source_var=origin.variable,
+                source_uid=origin.instr_uid,
+                origin_function=origin.function,
+                origin_line=origin.line,
+                origin_var=origin.variable,
+            )
+        )
+
+    def _summary_constraint(self, pf: PinpointFunction, trace: _TraceNode) -> Constraint:
+        """PC of a summarized path: assembled like a candidate (nested
+        summaries spliced, receivers resolved), parameters kept free."""
+        constraint = self._assemble(pf, trace)
+        # Recover the parameter set: free interface variables of this
+        # function occurring in the term.
+        function = pf.prepared.function
+        iface = set(interface_params(function))
+        used = constraint.term.variables()
+        params = frozenset(name for name in used if name in iface)
+        return Constraint(constraint.term, params=params)
+
+    # ------------------------------------------------------------------
+    # Candidates -> reports
+    # ------------------------------------------------------------------
+    def _nonnull_source_term(self, pf: PinpointFunction, origin: _Origin) -> Term:
+        """For checkers where a null tracked value is inert (free(null)
+        is a no-op): the tracked value must be non-null, together with
+        its defining constraints (so an undefined/zero value rules the
+        candidate out)."""
+        if not getattr(self.checker, "null_inert", False) or not origin.root_var:
+            return T.TRUE
+        dd = pf.conditions.dd(origin.root_var)
+        term = T.and_(
+            dd.term, T.ne(T.int_var(origin.root_var), T.const(0))
+        )
+        if dd.receivers:
+            term = self._resolve(
+                term,
+                set(),
+                [(pf.prepared.function.name, r, None) for r in dd.receivers],
+            )
+        return term
+
+    def _candidate_local(
+        self, pf: PinpointFunction, origin: _Origin, trace: _TraceNode, sink: SinkSpec
+    ) -> None:
+        self.stats.candidates += 1
+        constraint = self._assemble(pf, trace)
+        constraint = Constraint(
+            T.and_(constraint.term, self._nonnull_source_term(pf, origin))
+        )
+        self._decide_and_report(pf, origin, trace, sink.line, sink.value_var, constraint)
+
+    def _candidate_via_callee(
+        self,
+        pf: PinpointFunction,
+        origin: _Origin,
+        trace: _TraceNode,
+        call: cfg.Call,
+        vf4: VFSummary,
+    ) -> None:
+        self.stats.candidates += 1
+        full_trace = _TraceNode("vf1", (call, vf4), trace)
+        constraint = self._assemble(pf, full_trace)
+        constraint = Constraint(
+            T.and_(constraint.term, self._nonnull_source_term(pf, origin))
+        )
+        sink_function = vf4.origin_function or vf4.function
+        sink_line = vf4.origin_line or vf4.sink_line
+        sink_var = vf4.origin_var or vf4.sink_var
+        self._decide_and_report(
+            pf, origin, full_trace, sink_line, sink_var, constraint,
+            sink_function=sink_function,
+        )
+
+    def _decide_and_report(
+        self,
+        pf: PinpointFunction,
+        origin: _Origin,
+        trace: _TraceNode,
+        sink_line: int,
+        sink_var: str,
+        constraint: Constraint,
+        sink_function: Optional[str] = None,
+    ) -> None:
+        start = time.perf_counter()
+        term = constraint.term
+        verdict = "sat"
+        witness = ""
+        if self.config.use_linear_filter and self.linear.is_obviously_unsat(term):
+            self.stats.pruned_linear += 1
+            self.stats.seconds_solving += time.perf_counter() - start
+            return
+        if self.config.use_smt:
+            answer = self.smt.check(term)
+            if answer is Result.UNSAT:
+                self.stats.pruned_smt += 1
+                self.stats.seconds_solving += time.perf_counter() - start
+                return
+            if answer is Result.UNKNOWN:
+                verdict = "unknown"
+            else:
+                witness = _format_witness(self.smt.last_model)
+        self.stats.seconds_solving += time.perf_counter() - start
+
+        path = []
+        for node in self._trace_vertices(trace):
+            if node.kind != "vertex":
+                continue
+            func, vertex = node.payload
+            var = vertex_var(vertex)
+            if var is None:
+                continue
+            engine_pf = self.engine.functions.get(func)
+            line = 0
+            if engine_pf is not None:
+                instr = engine_pf.seg.def_instr.get(var)
+                if vertex[0] == "use":
+                    instr = engine_pf.seg.instr_by_uid.get(vertex[2], instr)
+                if instr is not None:
+                    line = instr.line
+            path.append(Location(func, line, var))
+
+        report = BugReport(
+            checker=self.checker.name,
+            source=Location(origin.function, origin.line, origin.variable),
+            sink=Location(
+                sink_function or pf.prepared.function.name, sink_line, sink_var
+            ),
+            path=tuple(path),
+            condition=str(term) if len(str(term)) < 400 else "...",
+            verdict=verdict,
+            witness=witness,
+        )
+        self.reports.setdefault(report.key(), report)
+
+    # ------------------------------------------------------------------
+    # Absence mode (memory leak)
+    # ------------------------------------------------------------------
+    def _check_absence(
+        self, pf: PinpointFunction, spec: SourceSpec, sinks: Dict[tuple, SinkSpec]
+    ) -> None:
+        """Leak detection: report a source whose value reaches neither a
+        release sink nor an escape point."""
+        function = pf.prepared.function
+        ret = pf.seg.return_instr
+        ret_uids = {ret.uid} if ret is not None else set()
+        call_uids = {c.uid: c for c in pf.seg.call_sites}
+
+        stack = [def_key(spec.value_var)]
+        visited = {def_key(spec.value_var)}
+        while stack:
+            vertex = stack.pop()
+            for edge in pf.seg.out_edges.get(vertex, ()):  # noqa: B909
+                target = edge.dst
+                if not edge.is_copy or target in visited:
+                    continue
+                visited.add(target)
+                if target[0] == "def":
+                    stack.append(target)
+                    continue
+                stmt_uid = target[2]
+                if target in sinks:
+                    return  # released
+                if stmt_uid in ret_uids:
+                    return  # escapes via return
+                call = call_uids.get(stmt_uid)
+                if call is not None:
+                    callee_summaries = self.summaries.get(call.callee)
+                    slot = self._arg_slot(call, target[1])
+                    if callee_summaries is None:
+                        return  # unknown callee: assume it takes ownership
+                    if slot is not None and callee_summaries.vf4_from(slot):
+                        # For this checker sinks are the releases, so a
+                        # param-to-sink summary means the callee frees it.
+                        return
+                    if slot is not None and callee_summaries.vf1_from(slot):
+                        # flows back; keep following via receiver
+                        for vf1 in callee_summaries.vf1_from(slot):
+                            receiver = receiver_for_slot(call, vf1.ret_slot or 0)
+                            if receiver is not None:
+                                rv = def_key(receiver)
+                                if rv not in visited:
+                                    visited.add(rv)
+                                    stack.append(rv)
+                        continue
+                    continue
+                instr = pf.seg.instr_by_uid.get(stmt_uid)
+                if isinstance(instr, cfg.Store) and not instr.synthetic:
+                    if isinstance(instr.value, cfg.Var) and instr.value.name == target[1]:
+                        # Stored into memory; if that memory is
+                        # caller-visible the value escapes.  Soundy: any
+                        # store counts as a potential escape unless the
+                        # target is a local allocation that itself leaks.
+                        targets = pf.prepared.points_to.store_targets.get(stmt_uid, ())
+                        from repro.pta.memory import AuxObject
+
+                        if any(isinstance(obj, AuxObject) for obj, _ in targets):
+                            return
+                if isinstance(instr, cfg.Store) and instr.synthetic:
+                    return  # written back through a connector: escapes
+                if isinstance(instr, cfg.Ret):
+                    return
+        # Nothing released or escaped: leak.
+        self.stats.candidates += 1
+        report = BugReport(
+            checker=self.checker.name,
+            source=Location(function.name, spec.line, spec.value_var),
+            sink=Location(function.name, spec.line, spec.value_var),
+            path=(Location(function.name, spec.line, spec.value_var),),
+            condition="true",
+            verdict="sat",
+        )
+        self.reports.setdefault(report.key(), report)

@@ -1,0 +1,191 @@
+"""Per-function preparation pipeline (the left half of the paper's
+Fig. 6 architecture).
+
+Functions are processed bottom-up over the call graph so a caller is
+transformed against its callees' already-computed connector signatures:
+
+1. lower the AST to a CFG;
+2. rewrite call sites against known callee signatures (Fig. 3(b));
+3. run Mod/Ref on a throwaway SSA copy to find this function's own
+   side effects;
+4. rewrite the function's interface (Fig. 3(a)), registering its
+   connector signature for upper-level callers;
+5. convert to SSA and run the quasi path-sensitive points-to analysis,
+   whose conditional data dependence feeds the SEG builder.
+
+Calls to functions in the same call-graph SCC (recursion) are left
+untransformed — the paper unrolls call-graph cycles once; such calls are
+treated as opaque external calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.ir import cfg
+from repro.ir.callgraph import CallGraph
+from repro.ir.controldep import control_dependence
+from repro.ir.gating import GateInfo
+from repro.ir.lower import lower_program
+from repro.ir.ssa import to_ssa
+from repro.lang import ast
+from repro.lang.parser import parse_program
+from repro.pta.intraproc import PointsToAnalysis, PointsToResult
+from repro.smt.linear_solver import LinearSolver
+from repro.transform.connectors import (
+    ConnectorSignature,
+    transform_call_sites,
+    transform_function_interface,
+)
+from repro.transform.modref import ModRefSummary, compute_modref
+
+
+@dataclass
+class PreparedFunction:
+    """Everything later stages need about one function."""
+
+    name: str
+    function: cfg.Function  # transformed, SSA
+    points_to: PointsToResult
+    gates: GateInfo
+    control_deps: Dict[str, list]
+    signature: ConnectorSignature
+    modref: ModRefSummary
+    # Call sites where two distinct actual arguments may point to the
+    # same object — violations of the paper's "distinct parameters do
+    # not alias" soundiness assumption (§4.2, improvable with partial
+    # transfer functions per Wilson & Lam).  Surfaced as diagnostics so
+    # users know where the analysis may be unsound.
+    alias_hazards: List[tuple] = field(default_factory=list)
+
+
+@dataclass
+class PreparedModule:
+    functions: Dict[str, PreparedFunction] = field(default_factory=dict)
+    callgraph: Optional[CallGraph] = None
+    order: List[str] = field(default_factory=list)
+    linear: LinearSolver = field(default_factory=LinearSolver)
+
+    def __getitem__(self, name: str) -> PreparedFunction:
+        return self.functions[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.functions
+
+    def __iter__(self):
+        return iter(self.functions.values())
+
+
+def prepare_module(program: ast.Program) -> PreparedModule:
+    """Run the preparation pipeline on a whole program."""
+    prepared = PreparedModule()
+    linear = prepared.linear
+
+    # Lower twice is avoided: we lower once for the call graph shape, then
+    # re-lower per function for the throwaway Mod/Ref copy (lowering is
+    # deterministic, but instruction uids differ; only the final SSA
+    # function's uids matter downstream).
+    module = lower_program(program)
+    callgraph = CallGraph(module)
+    prepared.callgraph = callgraph
+    order = callgraph.bottom_up_order()
+    prepared.order = order
+
+    ast_by_name = {f.name: f for f in program.functions}
+    signatures: Dict[str, ConnectorSignature] = {}
+    scc_of: Dict[str, int] = {}
+    for index, scc in enumerate(callgraph.sccs()):
+        for member in scc:
+            scc_of[member] = index
+
+    for name in order:
+        func_ast = ast_by_name[name]
+
+        # Signatures usable at this function's call sites: all known ones
+        # except same-SCC members (recursion unrolled once).
+        usable = {
+            callee: sig
+            for callee, sig in signatures.items()
+            if scc_of.get(callee) != scc_of.get(name)
+        }
+        result = prepare_function(func_ast, usable, linear)
+        signatures[name] = result.signature
+        prepared.functions[name] = result
+    return prepared
+
+
+def prepare_function(
+    func_ast: ast.FuncDef,
+    usable_signatures: Dict[str, ConnectorSignature],
+    linear: Optional[LinearSolver] = None,
+) -> PreparedFunction:
+    """Run all per-function preparation stages for one function, given
+    its callees' connector signatures.  This is the unit of work the
+    incremental analyzer caches."""
+    from repro.ir.lower import lower_function
+
+    linear = linear or LinearSolver()
+
+    # Throwaway copy for Mod/Ref.
+    scratch = lower_function(func_ast)
+    transform_call_sites(scratch, usable_signatures)
+    to_ssa(scratch)
+    modref = compute_modref(scratch, linear=linear)
+
+    # The real function: transform call sites + own interface, SSA.
+    function = lower_function(func_ast)
+    transform_call_sites(function, usable_signatures)
+    signature = transform_function_interface(function, modref)
+    to_ssa(function)
+
+    gates = GateInfo(function)
+    analysis = PointsToAnalysis(function, gates=gates, linear=linear)
+    points_to = analysis.run()
+    return PreparedFunction(
+        name=func_ast.name,
+        function=function,
+        points_to=points_to,
+        gates=gates,
+        control_deps=control_dependence(function),
+        signature=signature,
+        modref=modref,
+        alias_hazards=_find_alias_hazards(function, points_to),
+    )
+
+
+def _find_alias_hazards(function: cfg.Function, points_to: PointsToResult):
+    """Call sites passing two possibly-aliasing actuals to distinct
+    formal parameters — where the callee-side no-alias assumption may
+    lose writes (paper §4.2)."""
+    from repro.pta.memory import AllocObject
+
+    def alloc_objects(var: cfg.Var):
+        # Only allocation sites witness a real may-alias; the speculative
+        # per-parameter aux object every formal carries does not.
+        return {
+            obj
+            for obj, _ in points_to.pts(var.name)
+            if isinstance(obj, AllocObject)
+        }
+
+    hazards = []
+    for instr in function.all_instrs():
+        if not isinstance(instr, cfg.Call) or instr.synthetic:
+            continue
+        pointer_args = [
+            (index, arg, alloc_objects(arg))
+            for index, arg in enumerate(instr.args)
+            if isinstance(arg, cfg.Var)
+        ]
+        pointer_args = [entry for entry in pointer_args if entry[2]]
+        for position, (i, lhs, lhs_objs) in enumerate(pointer_args):
+            for j, rhs, rhs_objs in pointer_args[position + 1 :]:
+                if lhs.name == rhs.name or lhs_objs & rhs_objs:
+                    hazards.append((instr.uid, i, j, instr.line))
+    return hazards
+
+
+def prepare_source(source: str) -> PreparedModule:
+    """Parse and prepare a program given as source text."""
+    return prepare_module(parse_program(source))

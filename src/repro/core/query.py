@@ -1,0 +1,165 @@
+"""Ad-hoc value-flow queries.
+
+The paper positions Pinpoint as a framework: "problems that can be
+modeled as value-flow paths are straightforward to solve" (§4.1).  This
+module exposes that capability directly: describe where values of
+interest are born and where their arrival matters, get back the feasible
+flows — without subclassing :class:`~repro.core.checkers.base.Checker`.
+
+Example::
+
+    from repro.core.query import ValueFlowQuery
+
+    query = (
+        ValueFlowQuery("config-to-exec")
+        .values_returned_by("load_config")
+        .reaching_arguments_of("execute")
+        .through_operators()          # survive arithmetic/string massaging
+    )
+    flows = query.run(engine)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.core.checkers.base import Checker, SinkSpec, SourceSpec
+from repro.core.engine import Pinpoint
+from repro.core.report import BugReport
+from repro.ir import cfg
+
+
+class ValueFlowQuery:
+    """A builder for source/sink vocabularies, executed via the engine."""
+
+    def __init__(self, name: str = "value-flow-query") -> None:
+        self.name = name
+        self._source_returns: set = set()
+        self._source_arguments: set = set()
+        self._source_null_literals = False
+        self._source_allocations = False
+        self._sink_arguments: set = set()
+        self._sink_dereferences = False
+        self._through_ops = False
+
+    # ------------------------------------------------------------------
+    # Sources
+    # ------------------------------------------------------------------
+    def values_returned_by(self, *callees: str) -> "ValueFlowQuery":
+        """Track values received from calls to these (external) callees."""
+        self._source_returns.update(callees)
+        return self
+
+    def values_passed_to(self, *callees: str) -> "ValueFlowQuery":
+        """Track values at the moment they are passed to these callees
+        (e.g. ``free``: the value dangles from the call on)."""
+        self._source_arguments.update(callees)
+        return self
+
+    def null_literals(self) -> "ValueFlowQuery":
+        self._source_null_literals = True
+        return self
+
+    def allocations(self) -> "ValueFlowQuery":
+        self._source_allocations = True
+        return self
+
+    # ------------------------------------------------------------------
+    # Sinks
+    # ------------------------------------------------------------------
+    def reaching_arguments_of(self, *callees: str) -> "ValueFlowQuery":
+        self._sink_arguments.update(callees)
+        return self
+
+    def reaching_dereferences(self) -> "ValueFlowQuery":
+        self._sink_dereferences = True
+        return self
+
+    def through_operators(self) -> "ValueFlowQuery":
+        """Let tracked values survive unary/binary operators (taint)."""
+        self._through_ops = True
+        return self
+
+    # ------------------------------------------------------------------
+    def run(self, engine: Pinpoint) -> List[BugReport]:
+        """Execute against a prepared engine; returns feasible flows."""
+        if not (
+            self._source_returns
+            or self._source_arguments
+            or self._source_null_literals
+            or self._source_allocations
+        ):
+            raise ValueError("query has no sources")
+        if not (self._sink_arguments or self._sink_dereferences):
+            raise ValueError("query has no sinks")
+        checker = _QueryChecker(self)
+        return list(engine.check(checker))
+
+
+class _QueryChecker(Checker):
+    """Adapter: a ValueFlowQuery as a Checker."""
+
+    def __init__(self, query: ValueFlowQuery) -> None:
+        self.name = query.name
+        self.query = query
+        self.through_ops = query._through_ops
+
+    def sources(self, prepared, seg) -> List[SourceSpec]:
+        query = self.query
+        specs: List[SourceSpec] = []
+        for call in seg.call_sites:
+            if call.callee in query._source_returns and call.dest is not None:
+                specs.append(
+                    SourceSpec(
+                        vertex=("def", call.dest),
+                        value_var=call.dest,
+                        instr_uid=call.uid,
+                        line=call.line,
+                        description=f"returned by {call.callee}",
+                    )
+                )
+            if call.callee in query._source_arguments:
+                specs.extend(
+                    self._call_arg_specs(call, f"passed to {call.callee}", SourceSpec)
+                )
+        for instr in prepared.function.all_instrs():
+            if instr.synthetic:
+                continue
+            if (
+                query._source_null_literals
+                and isinstance(instr, cfg.Assign)
+                and isinstance(instr.src, cfg.Const)
+                and instr.src.value == 0
+            ):
+                specs.append(
+                    SourceSpec(
+                        vertex=("def", instr.dest),
+                        value_var=instr.dest,
+                        instr_uid=instr.uid,
+                        line=instr.line,
+                        description="null literal",
+                    )
+                )
+            if query._source_allocations and isinstance(instr, cfg.Malloc):
+                specs.append(
+                    SourceSpec(
+                        vertex=("def", instr.dest),
+                        value_var=instr.dest,
+                        instr_uid=instr.uid,
+                        line=instr.line,
+                        description="allocation",
+                    )
+                )
+        return specs
+
+    def sinks(self, prepared, seg) -> List[SinkSpec]:
+        query = self.query
+        specs: List[SinkSpec] = []
+        for call in seg.call_sites:
+            if call.callee in query._sink_arguments:
+                specs.extend(
+                    self._call_arg_specs(call, f"argument of {call.callee}", SinkSpec)
+                )
+        if query._sink_dereferences:
+            specs.extend(self._deref_sinks(prepared, seg))
+        return specs

@@ -1,0 +1,97 @@
+"""Bug reports and engine statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Location:
+    """A program point: function name plus surface source line."""
+
+    function: str
+    line: int
+    variable: str = ""
+
+    def __str__(self) -> str:
+        var = f" ({self.variable})" if self.variable else ""
+        return f"{self.function}:{self.line}{var}"
+
+
+@dataclass
+class BugReport:
+    """One value-flow bug: a source flowing to a sink on a feasible path."""
+
+    checker: str
+    source: Location
+    sink: Location
+    path: Tuple[Location, ...] = ()
+    condition: str = "true"
+    verdict: str = "sat"  # sat | unknown (timeout treated as reportable)
+    # A human-readable feasibility witness: atom literals from the SMT
+    # model that mention program variables ("c.0 > 0"), when available.
+    witness: str = ""
+
+    def key(self) -> Tuple:
+        """Deduplication key: one report per (source stmt, sink stmt)."""
+        return (self.checker, self.source, self.sink)
+
+    def __str__(self) -> str:
+        steps = " -> ".join(str(loc) for loc in self.path) or "direct"
+        text = (
+            f"[{self.checker}] {self.source} flows to {self.sink}\n"
+            f"    path: {steps}\n"
+            f"    condition: {self.condition}"
+        )
+        if self.witness:
+            text += f"\n    feasible when: {self.witness}"
+        return text
+
+
+@dataclass
+class EngineStats:
+    """Counters mirroring the paper's evaluation dimensions."""
+
+    functions: int = 0
+    seg_vertices: int = 0
+    seg_edges: int = 0
+    summaries_rv: int = 0
+    summaries_vf: int = 0
+    candidates: int = 0
+    pruned_linear: int = 0
+    pruned_smt: int = 0
+    reported: int = 0
+    smt_queries: int = 0
+    linear_queries: int = 0
+    search_steps: int = 0
+    seconds_prepare: float = 0.0
+    seconds_seg: float = 0.0
+    seconds_search: float = 0.0
+    seconds_solving: float = 0.0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+@dataclass
+class CheckResult:
+    """All reports from one checker run plus statistics."""
+
+    checker: str
+    reports: List[BugReport] = field(default_factory=list)
+    stats: EngineStats = field(default_factory=EngineStats)
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+    def __iter__(self):
+        return iter(self.reports)
+
+    def summary_line(self) -> str:
+        stats = self.stats
+        return (
+            f"{self.checker}: {len(self.reports)} reports "
+            f"({stats.candidates} candidates, {stats.pruned_linear} pruned by "
+            f"linear solver, {stats.pruned_smt} pruned by SMT)"
+        )

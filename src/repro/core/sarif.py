@@ -1,0 +1,111 @@
+"""SARIF 2.1.0 export for bug reports.
+
+SARIF (Static Analysis Results Interchange Format) is the OASIS-standard
+JSON schema CI systems and code hosts ingest.  This module renders
+:class:`~repro.core.report.CheckResult` objects as a minimal-but-valid
+SARIF log: one run per checker, one result per report, with the
+value-flow path attached as a codeFlow (threadFlow locations), and the
+path condition/witness carried in result properties.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List
+
+from repro.core.report import BugReport, CheckResult, Location
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_RULE_DESCRIPTIONS = {
+    "use-after-free": "A freed pointer value reaches a dereference.",
+    "double-free": "A freed pointer value reaches another free.",
+    "null-deref": "A null value reaches a dereference.",
+    "memory-leak": "An allocation neither reaches a free nor escapes.",
+    "resource-leak": "An acquired resource is never released.",
+    "path-traversal": "User input reaches a file operation (CWE-23).",
+    "data-transmission": "Sensitive data reaches an output channel (CWE-402).",
+}
+
+
+def _location(loc: Location, artifact: str) -> dict:
+    entry = {
+        "physicalLocation": {
+            "artifactLocation": {"uri": artifact},
+            "region": {"startLine": max(loc.line, 1)},
+        },
+        "logicalLocations": [{"name": loc.function, "kind": "function"}],
+    }
+    if loc.variable:
+        entry["message"] = {"text": f"value held by {loc.variable}"}
+    return entry
+
+
+def _result(report: BugReport, artifact: str) -> dict:
+    message = (
+        f"{report.checker}: value from {report.source} reaches {report.sink}"
+    )
+    thread_locations = [
+        {"location": _location(loc, artifact)} for loc in report.path
+    ] or [{"location": _location(report.sink, artifact)}]
+    result = {
+        "ruleId": report.checker,
+        "level": "error" if report.verdict == "sat" else "warning",
+        "message": {"text": message},
+        "locations": [_location(report.sink, artifact)],
+        "relatedLocations": [_location(report.source, artifact)],
+        "codeFlows": [
+            {"threadFlows": [{"locations": thread_locations}]}
+        ],
+        "properties": {
+            "pathCondition": report.condition,
+            "verdict": report.verdict,
+        },
+    }
+    if report.witness:
+        result["properties"]["feasibleWhen"] = report.witness
+    return result
+
+
+def _run(result: CheckResult, artifact: str) -> dict:
+    rules = [
+        {
+            "id": result.checker,
+            "shortDescription": {
+                "text": _RULE_DESCRIPTIONS.get(result.checker, result.checker)
+            },
+        }
+    ]
+    return {
+        "tool": {
+            "driver": {
+                "name": "repro-pinpoint",
+                "informationUri": "https://doi.org/10.1145/3192366.3192418",
+                "version": "1.0.0",
+                "rules": rules,
+            }
+        },
+        "results": [_result(report, artifact) for report in result],
+        "properties": {"stats": result.stats.as_dict()},
+    }
+
+
+def to_sarif(
+    results: Iterable[CheckResult], artifact: str = "program.pin"
+) -> dict:
+    """Build the SARIF log object for one or more checker runs."""
+    return {
+        "version": SARIF_VERSION,
+        "$schema": SARIF_SCHEMA,
+        "runs": [_run(result, artifact) for result in results],
+    }
+
+
+def to_sarif_json(
+    results: Iterable[CheckResult], artifact: str = "program.pin", indent: int = 2
+) -> str:
+    return json.dumps(to_sarif(results, artifact), indent=indent)

@@ -1,0 +1,54 @@
+"""Intermediate representation: CFG, SSA, dominance, control dependence.
+
+The AST from :mod:`repro.lang` is lowered into a control-flow graph of
+three-address instructions matching the paper's statement forms, then
+converted to SSA.  Dominance and post-dominance support phi placement and
+control-dependence computation; gating functions (Tu & Padua, cited as
+[48] in the paper) give the condition under which each phi operand is
+selected, which become the conditional data-dependence labels in the SEG.
+"""
+
+from repro.ir.cfg import (
+    Assign,
+    BinOp,
+    Block,
+    Branch,
+    Call,
+    Const,
+    Function,
+    Instr,
+    Jump,
+    Load,
+    Malloc,
+    Phi,
+    Ret,
+    Store,
+    UnOp,
+    Var,
+)
+from repro.ir.lower import lower_function, lower_program
+from repro.ir.ssa import to_ssa
+from repro.ir.callgraph import CallGraph
+
+__all__ = [
+    "Assign",
+    "BinOp",
+    "Block",
+    "Branch",
+    "Call",
+    "CallGraph",
+    "Const",
+    "Function",
+    "Instr",
+    "Jump",
+    "Load",
+    "Malloc",
+    "Phi",
+    "Ret",
+    "Store",
+    "UnOp",
+    "Var",
+    "lower_function",
+    "lower_program",
+    "to_ssa",
+]

@@ -1,0 +1,101 @@
+"""Call graph construction and bottom-up ordering.
+
+Pinpoint analyzes functions bottom-up (callees before callers, Section 2),
+so callee SEGs and summaries exist when a caller is processed.  Recursive
+cycles are collapsed into SCCs (Tarjan); within an SCC we follow the
+paper's soundy policy of unrolling call-graph cycles once — calls to
+functions in the same SCC are treated as external calls (no summary) on
+the second encounter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.ir import cfg
+
+
+class CallGraph:
+    def __init__(self, module: cfg.Module) -> None:
+        self.module = module
+        self.callees: Dict[str, Set[str]] = {}
+        self.callers: Dict[str, Set[str]] = {}
+        self.call_sites: Dict[str, List[cfg.Call]] = {}
+        for function in module:
+            self.callees.setdefault(function.name, set())
+            self.callers.setdefault(function.name, set())
+        for function in module:
+            for instr in function.all_instrs():
+                if isinstance(instr, cfg.Call) and instr.callee in module:
+                    self.callees[function.name].add(instr.callee)
+                    self.callers[instr.callee].add(function.name)
+                    self.call_sites.setdefault(instr.callee, []).append(instr)
+
+    # ------------------------------------------------------------------
+    def sccs(self) -> List[List[str]]:
+        """Tarjan SCCs in reverse topological (bottom-up) order."""
+        index_counter = [0]
+        stack: List[str] = []
+        lowlink: Dict[str, int] = {}
+        index: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        result: List[List[str]] = []
+
+        def strongconnect(node: str) -> None:
+            # Iterative Tarjan to survive deep synthetic call chains.
+            work = [(node, iter(sorted(self.callees.get(node, ()))))]
+            index[node] = lowlink[node] = index_counter[0]
+            index_counter[0] += 1
+            stack.append(node)
+            on_stack.add(node)
+            while work:
+                current, successors = work[-1]
+                advanced = False
+                for succ in successors:
+                    if succ not in index:
+                        index[succ] = lowlink[succ] = index_counter[0]
+                        index_counter[0] += 1
+                        stack.append(succ)
+                        on_stack.add(succ)
+                        work.append((succ, iter(sorted(self.callees.get(succ, ())))))
+                        advanced = True
+                        break
+                    if succ in on_stack:
+                        lowlink[current] = min(lowlink[current], index[succ])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[current])
+                if lowlink[current] == index[current]:
+                    scc = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.remove(member)
+                        scc.append(member)
+                        if member == current:
+                            break
+                    result.append(scc)
+
+        for name in sorted(self.callees):
+            if name not in index:
+                strongconnect(name)
+        return result
+
+    def bottom_up_order(self) -> List[str]:
+        """Function names, callees before callers."""
+        order: List[str] = []
+        for scc in self.sccs():
+            order.extend(sorted(scc))
+        return order
+
+    def is_recursive_call(self, caller: str, callee: str) -> bool:
+        """Whether caller and callee share an SCC (mutual/self recursion)."""
+        if caller == callee:
+            return True
+        for scc in self.sccs():
+            members = set(scc)
+            if caller in members and callee in members:
+                return True
+        return False

@@ -1,0 +1,47 @@
+"""Control-dependence computation (Ferrante, Ottenstein & Warren).
+
+A block ``B`` is control dependent on branch block ``A`` with label
+``taken`` when the edge ``A -> succ`` (for the ``taken`` arm) determines
+whether ``B`` executes: ``B`` post-dominates ``succ`` but not ``A``.
+
+The result maps each block to its list of ``(branch_block, taken)``
+controls; the SEG builder turns these into control-dependence edges from
+each statement vertex to the branch-condition variable's vertex, labeled
+true/false exactly as in Definition 3.2 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.ir import cfg
+from repro.ir.dominance import VIRTUAL_EXIT, post_dominators
+
+
+def control_dependence(function: cfg.Function) -> Dict[str, List[Tuple[str, bool]]]:
+    """Map block label -> [(branch block label, branch arm)]."""
+    pdom = post_dominators(function)
+    deps: Dict[str, List[Tuple[str, bool]]] = {
+        label: [] for label in function.block_order()
+    }
+    for label in function.block_order():
+        block = function.blocks[label]
+        terminator = block.terminator
+        if not isinstance(terminator, cfg.Branch):
+            continue
+        for succ, taken in (
+            (terminator.then_label, True),
+            (terminator.else_label, False),
+        ):
+            if succ == label:
+                continue
+            # Walk the post-dominator tree from succ up to (exclusive)
+            # ipostdom(label); every node on the way is control dependent
+            # on (label, taken).
+            stop = pdom.idom.get(label)
+            runner = succ
+            while runner is not None and runner != stop and runner != VIRTUAL_EXIT:
+                if runner != label and (label, taken) not in deps.get(runner, ()):
+                    deps.setdefault(runner, []).append((label, taken))
+                runner = pdom.idom.get(runner)
+    return deps

@@ -1,0 +1,46 @@
+"""The analyzed language: AST and parser.
+
+The paper defines its analyses over a simple call-by-value language
+(Section 3, "Language") with assignments, binary/unary operations,
+loads/stores of arbitrary dereference depth ``*(v, k)``, branches,
+returns, and calls.  This package provides a small C-like surface syntax
+for that language plus the AST the front end produces; lowering to a CFG
+IR lives in :mod:`repro.ir`.
+"""
+
+from repro.lang.ast import (
+    AssignStmt,
+    Binary,
+    Block,
+    Call,
+    ExprStmt,
+    FuncDef,
+    IfStmt,
+    Name,
+    Num,
+    Program,
+    ReturnStmt,
+    StoreStmt,
+    Unary,
+    WhileStmt,
+)
+from repro.lang.parser import ParseError, parse_program
+
+__all__ = [
+    "AssignStmt",
+    "Binary",
+    "Block",
+    "Call",
+    "ExprStmt",
+    "FuncDef",
+    "IfStmt",
+    "Name",
+    "Num",
+    "ParseError",
+    "Program",
+    "ReturnStmt",
+    "StoreStmt",
+    "Unary",
+    "WhileStmt",
+    "parse_program",
+]

@@ -1,0 +1,374 @@
+"""A concrete interpreter for the analyzed language.
+
+Executes programs directly over the AST with a real heap, serving as the
+*dynamic oracle* for the static analyses: a use-after-free or double-free
+that Pinpoint reports should be observable as a runtime
+:class:`MemoryError_` for some input, and the "good" twins of the
+Juliet-like suite must run clean on all inputs.
+
+Semantics:
+
+- values are integers or :class:`Pointer` handles;
+- ``malloc()`` allocates a fresh cell; ``free(p)`` marks it dead;
+- loading or storing through a dead (or null, or dangling-integer)
+  pointer raises :class:`MemoryError_` with the offending kind;
+- unknown callees are modeled by hooks (see ``external``): by default
+  they return 0, and the taint intrinsics (``fgetc`` etc.) return marked
+  values so taint flows are dynamically observable too;
+- loops and recursion run for real, bounded by ``step_limit``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.lang import ast
+
+_HANDLE = itertools.count(1)
+
+
+class InterpError(Exception):
+    """Base class for runtime failures."""
+
+
+class MemoryError_(InterpError):
+    """A memory-safety violation (the dynamic bug the checkers hunt)."""
+
+    def __init__(self, kind: str, detail: str = "") -> None:
+        super().__init__(f"{kind}{': ' + detail if detail else ''}")
+        self.kind = kind  # 'use-after-free' | 'double-free' | 'null-deref'
+
+
+class StepLimitExceeded(InterpError):
+    pass
+
+
+@dataclass
+class Cell:
+    """One heap allocation: a single storage slot (arrays collapse)."""
+
+    handle: int
+    value: "Value" = 0
+    alive: bool = True
+
+
+class Pointer:
+    """A runtime pointer: a handle to a heap cell."""
+
+    __slots__ = ("cell", "tainted")
+
+    def __init__(self, cell: Cell, tainted: bool = False) -> None:
+        self.cell = cell
+        self.tainted = tainted
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "dead" if not self.cell.alive else "live"
+        return f"<ptr #{self.cell.handle} {state}>"
+
+
+class Tainted(int):
+    """An integer carrying a taint mark (from input intrinsics)."""
+
+    def __new__(cls, value: int = 0):
+        return super().__new__(cls, value)
+
+
+Value = Union[int, Pointer]
+
+
+def _is_tainted(value: Value) -> bool:
+    return isinstance(value, Tainted) or (
+        isinstance(value, Pointer) and value.tainted
+    )
+
+
+def _truthy(value: Value) -> bool:
+    if isinstance(value, Pointer):
+        return True
+    return value != 0
+
+
+def _as_int(value: Value) -> int:
+    """Integer view of a value (pointers compare by handle, as addresses)."""
+    if isinstance(value, Pointer):
+        return value.cell.handle
+    return int(value)
+
+
+def _binop(op: str, lhs: Value, rhs: Value) -> Value:
+    # Pointer equality compares identity of the cell; everything else
+    # degrades to integer arithmetic on handles (address arithmetic).
+    if op == "==":
+        return int(_compare_eq(lhs, rhs))
+    if op == "!=":
+        return int(not _compare_eq(lhs, rhs))
+    a, b = _as_int(lhs), _as_int(rhs)
+    if op == "+":
+        return a + b
+    if op == "-":
+        return a - b
+    if op == "*":
+        return a * b
+    if op == "/":
+        return a // b if b else 0
+    if op == "%":
+        return a % b if b else 0
+    if op == "<":
+        return int(a < b)
+    if op == "<=":
+        return int(a <= b)
+    if op == ">":
+        return int(a > b)
+    if op == ">=":
+        return int(a >= b)
+    if op == "&&":
+        return int(_truthy(lhs) and _truthy(rhs))
+    if op == "||":
+        return int(_truthy(lhs) or _truthy(rhs))
+    raise InterpError(f"unknown operator {op}")
+
+
+def _compare_eq(lhs: Value, rhs: Value) -> bool:
+    if isinstance(lhs, Pointer) and isinstance(rhs, Pointer):
+        return lhs.cell is rhs.cell
+    if isinstance(lhs, Pointer) or isinstance(rhs, Pointer):
+        return False  # a live pointer never equals an integer (incl. null)
+    return lhs == rhs
+
+
+@dataclass
+class TraceEvent:
+    """One observable runtime event (for the dynamic oracle)."""
+
+    kind: str  # 'free' | 'deref' | 'sink-call'
+    function: str
+    line: int
+    detail: str = ""
+
+
+class Interpreter:
+    """Executes a :class:`~repro.lang.ast.Program`."""
+
+    def __init__(
+        self,
+        program: ast.Program,
+        step_limit: int = 100_000,
+        external: Optional[Dict[str, Callable[..., Value]]] = None,
+        halt_on_violation: bool = True,
+    ) -> None:
+        self.program = program
+        self.functions = {f.name: f for f in program.functions}
+        self.step_limit = step_limit
+        self.steps = 0
+        self.halt_on_violation = halt_on_violation
+        self.violations: List[MemoryError_] = []
+        self.trace: List[TraceEvent] = []
+        self.taint_sink_hits: List[TraceEvent] = []
+        self.external = dict(external or {})
+        self._current_function = "<top>"
+
+    # ------------------------------------------------------------------
+    def call(self, name: str, *args: Value) -> Value:
+        """Call a defined function with concrete arguments."""
+        function = self.functions.get(name)
+        if function is None:
+            raise InterpError(f"no such function: {name}")
+        return self._call_function(function, list(args))
+
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        self.steps += 1
+        if self.steps > self.step_limit:
+            raise StepLimitExceeded(f"exceeded {self.step_limit} steps")
+
+    def _violate(self, kind: str, line: int, detail: str = "") -> None:
+        error = MemoryError_(kind, detail)
+        self.violations.append(error)
+        if self.halt_on_violation:
+            raise error
+
+    # ------------------------------------------------------------------
+    class _Return(Exception):
+        def __init__(self, value: Value) -> None:
+            self.value = value
+
+    def _call_function(self, function: ast.FuncDef, args: List[Value]) -> Value:
+        env: Dict[str, Value] = {}
+        for param, arg in itertools.zip_longest(function.params, args, fillvalue=0):
+            if isinstance(param, str):
+                env[param] = arg
+        saved = self._current_function
+        self._current_function = function.name
+        try:
+            self._exec_block(function.body, env)
+            return 0
+        except self._Return as ret:
+            return ret.value
+        finally:
+            self._current_function = saved
+
+    def _exec_block(self, block: ast.Block, env: Dict[str, Value]) -> None:
+        for stmt in block.stmts:
+            self._exec_stmt(stmt, env)
+
+    def _exec_stmt(self, stmt: ast.Stmt, env: Dict[str, Value]) -> None:
+        self._tick()
+        if isinstance(stmt, ast.AssignStmt):
+            env[stmt.target] = self._eval(stmt.value, env)
+        elif isinstance(stmt, ast.StoreStmt):
+            pointer = self._eval(stmt.pointer, env)
+            cell = self._deref_chain(pointer, stmt.depth - 1, stmt.line)
+            if cell is not None:
+                value = self._eval(stmt.value, env)
+                cell.value = value
+        elif isinstance(stmt, ast.IfStmt):
+            if _truthy(self._eval(stmt.cond, env)):
+                self._exec_block(stmt.then_block, env)
+            elif stmt.else_block is not None:
+                self._exec_block(stmt.else_block, env)
+        elif isinstance(stmt, ast.WhileStmt):
+            while _truthy(self._eval(stmt.cond, env)):
+                self._tick()
+                self._exec_block(stmt.body, env)
+        elif isinstance(stmt, ast.ReturnStmt):
+            value = 0 if stmt.value is None else self._eval(stmt.value, env)
+            raise self._Return(value)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._eval(stmt.expr, env)
+        else:  # pragma: no cover
+            raise InterpError(f"unknown statement {stmt!r}")
+
+    # ------------------------------------------------------------------
+    def _deref_chain(self, value: Value, extra: int, line: int) -> Optional[Cell]:
+        """Follow ``extra`` intermediate dereferences, returning the final
+        cell (checking liveness at every hop)."""
+        for _ in range(extra):
+            cell = self._check_pointer(value, line)
+            if cell is None:
+                return None
+            value = cell.value
+        return self._check_pointer(value, line)
+
+    def _check_pointer(self, value: Value, line: int) -> Optional[Cell]:
+        self.trace.append(TraceEvent("deref", self._current_function, line))
+        if not isinstance(value, Pointer):
+            self._violate("null-deref", line, f"dereferencing integer {value!r}")
+            return None
+        if not value.cell.alive:
+            self._violate("use-after-free", line, f"cell #{value.cell.handle}")
+            return None
+        return value.cell
+
+    # ------------------------------------------------------------------
+    def _eval(self, expr: ast.Expr, env: Dict[str, Value]) -> Value:
+        self._tick()
+        if isinstance(expr, ast.Num):
+            return expr.value
+        if isinstance(expr, ast.Name):
+            return env.get(expr.ident, 0)
+        if isinstance(expr, ast.Unary):
+            if expr.op == "*":
+                pointer = self._eval(expr.operand, env)
+                cell = self._check_pointer(pointer, expr.line)
+                return 0 if cell is None else cell.value
+            operand = self._eval(expr.operand, env)
+            if expr.op == "-":
+                return -_as_int(operand)
+            if expr.op == "!":
+                return 0 if _truthy(operand) else 1
+            raise InterpError(f"unknown unary {expr.op}")
+        if isinstance(expr, ast.Binary):
+            lhs = self._eval(expr.lhs, env)
+            rhs = self._eval(expr.rhs, env)
+            result = _binop(expr.op, lhs, rhs)
+            if _is_tainted(lhs) or _is_tainted(rhs):
+                return Tainted(_as_int(result))
+            return result
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr, env)
+        raise InterpError(f"unknown expression {expr!r}")
+
+    # ------------------------------------------------------------------
+    TAINT_SOURCES = frozenset(
+        {"fgetc", "fgets", "recv", "read_input", "getenv", "scanf",
+         "getpass", "read_key", "load_secret", "read_password", "read_query"}
+    )
+    TAINT_SINKS = frozenset(
+        {"fopen", "open", "opendir", "remove", "rename",
+         "sendto", "send", "write_socket", "log_msg", "sql_exec"}
+    )
+    MALLOC_NAMES = frozenset({"malloc", "calloc", "alloc", "new_object"})
+    FREE_NAMES = frozenset({"free", "release", "dispose", "kfree"})
+
+    def _eval_call(self, expr: ast.Call, env: Dict[str, Value]) -> Value:
+        name = expr.callee
+        if name in self.functions:
+            args = [self._eval(a, env) for a in expr.args]
+            return self._call_function(self.functions[name], args)
+        if name in self.MALLOC_NAMES:
+            for arg in expr.args:
+                self._eval(arg, env)
+            return Pointer(Cell(next(_HANDLE)))
+        if name in self.FREE_NAMES:
+            args = [self._eval(a, env) for a in expr.args]
+            for value in args:
+                self._free(value, expr.line)
+            return 0
+        if name in self.TAINT_SOURCES:
+            for arg in expr.args:
+                self._eval(arg, env)
+            return Tainted(7)
+        if name in self.TAINT_SINKS:
+            args = [self._eval(a, env) for a in expr.args]
+            if any(_is_tainted(a) for a in args):
+                event = TraceEvent(
+                    "sink-call", self._current_function, expr.line, name
+                )
+                self.taint_sink_hits.append(event)
+                self.trace.append(event)
+            return 0
+        hook = self.external.get(name)
+        if hook is not None:
+            args = [self._eval(a, env) for a in expr.args]
+            return hook(*args)
+        for arg in expr.args:
+            self._eval(arg, env)
+        return 0
+
+    def _free(self, value: Value, line: int) -> None:
+        self.trace.append(TraceEvent("free", self._current_function, line))
+        if not isinstance(value, Pointer):
+            if value != 0:
+                self._violate("bad-free", line, f"freeing integer {value!r}")
+            return  # free(null) is a no-op, as in C
+        if not value.cell.alive:
+            self._violate("double-free", line, f"cell #{value.cell.handle}")
+            return
+        value.cell.alive = False
+
+
+def run_function(
+    source_or_program: Union[str, ast.Program],
+    name: str,
+    *args: Value,
+    halt_on_violation: bool = True,
+    step_limit: int = 100_000,
+) -> "Interpreter":
+    """Parse (if needed), run one function, return the interpreter with
+    its recorded violations/trace."""
+    if isinstance(source_or_program, str):
+        from repro.lang.parser import parse_program
+
+        program = parse_program(source_or_program)
+    else:
+        program = source_or_program
+    interp = Interpreter(
+        program, step_limit=step_limit, halt_on_violation=halt_on_violation
+    )
+    try:
+        interp.call(name, *args)
+    except MemoryError_:
+        pass  # recorded in interp.violations
+    return interp

@@ -1,0 +1,84 @@
+"""Pretty-printer: AST back to surface syntax.
+
+``parse(pretty(parse(text)))`` produces a structurally identical AST,
+which the round-trip property tests rely on.  Output is normalized
+(one statement per line, four-space indentation, minimal parentheses by
+always parenthesizing nested binary operands).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang import ast
+
+
+def pretty_program(program: ast.Program) -> str:
+    return "\n".join(pretty_function(f) for f in program.functions)
+
+
+def pretty_function(function: ast.FuncDef) -> str:
+    lines = [f"fn {function.name}({', '.join(function.params)}) {{"]
+    lines.extend(_block_lines(function.body, 1))
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def _block_lines(block: ast.Block, depth: int) -> List[str]:
+    lines: List[str] = []
+    for stmt in block.stmts:
+        lines.extend(_stmt_lines(stmt, depth))
+    return lines
+
+
+def _stmt_lines(stmt: ast.Stmt, depth: int) -> List[str]:
+    pad = "    " * depth
+    if isinstance(stmt, ast.AssignStmt):
+        return [f"{pad}{stmt.target} = {pretty_expr(stmt.value)};"]
+    if isinstance(stmt, ast.StoreStmt):
+        stars = "*" * stmt.depth
+        return [f"{pad}{stars}{pretty_expr(stmt.pointer)} = {pretty_expr(stmt.value)};"]
+    if isinstance(stmt, ast.IfStmt):
+        lines = [f"{pad}if ({pretty_expr(stmt.cond)}) {{"]
+        lines.extend(_block_lines(stmt.then_block, depth + 1))
+        if stmt.else_block is not None:
+            lines.append(f"{pad}}} else {{")
+            lines.extend(_block_lines(stmt.else_block, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, ast.WhileStmt):
+        lines = [f"{pad}while ({pretty_expr(stmt.cond)}) {{"]
+        lines.extend(_block_lines(stmt.body, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, ast.ReturnStmt):
+        if stmt.value is None:
+            return [f"{pad}return;"]
+        return [f"{pad}return {pretty_expr(stmt.value)};"]
+    if isinstance(stmt, ast.ExprStmt):
+        return [f"{pad}{pretty_expr(stmt.expr)};"]
+    raise ValueError(f"unknown statement {stmt!r}")
+
+
+def pretty_expr(expr: ast.Expr, parent_binds_tighter: bool = False) -> str:
+    if isinstance(expr, ast.Name):
+        return expr.ident
+    if isinstance(expr, ast.Num):
+        # Negative literals re-parse as unary minus; that is structurally
+        # equivalent under evaluation but not under AST equality, so keep
+        # them parenthesized through the unary printer instead.
+        if expr.value < 0:
+            return f"(0 - {-expr.value})"
+        return str(expr.value)
+    if isinstance(expr, ast.Unary):
+        inner = pretty_expr(expr.operand, parent_binds_tighter=True)
+        return f"{expr.op}{inner}"
+    if isinstance(expr, ast.Binary):
+        text = (
+            f"{pretty_expr(expr.lhs, True)} {expr.op} {pretty_expr(expr.rhs, True)}"
+        )
+        return f"({text})" if parent_binds_tighter else f"({text})"
+    if isinstance(expr, ast.Call):
+        args = ", ".join(pretty_expr(a) for a in expr.args)
+        return f"{expr.callee}({args})"
+    raise ValueError(f"unknown expression {expr!r}")

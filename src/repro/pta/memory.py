@@ -1,0 +1,98 @@
+"""Abstract memory objects.
+
+The analyses use an allocation-site abstraction:
+
+- :class:`AllocObject` — one abstract object per ``malloc`` site
+  (identified by the Malloc instruction's uid);
+- :class:`AuxObject` — the non-local memory location reached by
+  dereferencing a formal parameter ``depth`` times, ``*(p, depth)``.
+  These are the locations the connector model (Section 3.1.2) exposes
+  through Aux formal parameters and Aux return values.
+
+Arrays and unions collapse into their object (paper Section 4.2), so each
+object has a single content cell per dereference level.
+"""
+
+from __future__ import annotations
+
+
+class MemObject:
+    """Base class for abstract memory objects."""
+
+    __slots__ = ()
+
+
+class AllocObject(MemObject):
+    __slots__ = ("site", "line")
+
+    def __init__(self, site: int, line: int = 0) -> None:
+        self.site = site
+        self.line = line
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, AllocObject) and other.site == self.site
+
+    def __hash__(self) -> int:
+        return hash(("alloc", self.site))
+
+    def __repr__(self) -> str:
+        return f"heap@{self.site}"
+
+
+class AuxObject(MemObject):
+    """The object ``*(param, depth)`` of function ``func``.
+
+    ``param`` is the parameter's base name (SSA version stripped) so the
+    object's identity is stable across the transformation passes.
+    """
+
+    __slots__ = ("func", "param", "depth")
+
+    def __init__(self, func: str, param: str, depth: int) -> None:
+        self.func = func
+        self.param = param
+        self.depth = depth
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, AuxObject)
+            and other.func == self.func
+            and other.param == self.param
+            and other.depth == self.depth
+        )
+
+    def __hash__(self) -> int:
+        return hash(("aux", self.func, self.param, self.depth))
+
+    def __repr__(self) -> str:
+        return f"{self.func}:{'*' * self.depth}{self.param}"
+
+
+def aux_param_name(param: str, depth: int) -> str:
+    """Variable name of the Aux formal parameter for ``*(param, depth)``.
+
+    These are the ``X`` connectors of Fig. 2: ``F$q$1`` carries the value
+    of ``*q`` into the function.
+    """
+    return f"F${param}${depth}"
+
+
+def aux_return_name(param: str, depth: int) -> str:
+    """Variable name of the Aux return value for ``*(param, depth)`` —
+    the ``Y`` connectors of Fig. 2."""
+    return f"R${param}${depth}"
+
+
+def parse_aux_param(name: str):
+    """Inverse of :func:`aux_param_name`; returns (param, depth) or None.
+
+    Accepts SSA-versioned names (``F$q$1.0``).
+    """
+    base = name.split(".")[0] if "." in name and name.rsplit(".", 1)[1].isdigit() else name
+    if not base.startswith("F$"):
+        return None
+    try:
+        _, param, depth = base.split("$")
+        return param, int(depth)
+    except ValueError:
+        return None

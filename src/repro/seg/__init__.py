@@ -1,0 +1,28 @@
+"""The symbolic expression graph (SEG), Section 3.2 of the paper.
+
+A SEG is a per-function sparse value-flow graph that compactly encodes
+
+- conditional and unconditional data dependence (including dependence
+  through memory, labeled with the points-to conditions computed by the
+  local analysis),
+- control dependence (edges to branch-condition variables), and
+- symbolic expressions (operator vertices),
+
+and supports querying "efficient path conditions" (Section 3.2.2): the
+``DD``/``CD`` constraint generators and the path condition ``PC(π)`` of
+Equation (1) live in :mod:`repro.seg.conditions`.
+"""
+
+from repro.seg.graph import SEG, VertexKey, def_key, use_key
+from repro.seg.builder import build_seg
+from repro.seg.conditions import ConditionBuilder, Constraint
+
+__all__ = [
+    "SEG",
+    "Constraint",
+    "ConditionBuilder",
+    "VertexKey",
+    "build_seg",
+    "def_key",
+    "use_key",
+]

@@ -1,0 +1,107 @@
+"""SEG construction from a prepared (transformed, SSA) function.
+
+Follows the paper's construction (Section 3.2.1):
+
+- direct def-use dependence from assignments and operators,
+- conditional dependence from phis labeled with gating conditions,
+- memory-mediated dependence from the local points-to analysis: a load's
+  incoming edges come from the values the analysis resolved, labeled with
+  their conditions (the ``{(L, θ1), (M, ¬θ1)}`` sets of Fig. 2),
+- control-dependence edges from each statement to the branch variables
+  that govern its block, labeled true/false,
+- use-vertices anchoring operands at statements (``c@free(c)``), so
+  checkers can designate sources and sinks.
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline import PreparedFunction
+from repro.ir import cfg
+from repro.seg.graph import SEG, const_key, def_key, op_key, use_key
+from repro.smt import terms as T
+
+
+def build_seg(prepared: PreparedFunction) -> SEG:
+    function = prepared.function
+    points_to = prepared.points_to
+    gates = prepared.gates
+    seg = SEG(function.name)
+
+    def operand_vertex(operand: cfg.Operand, stmt_uid: int):
+        if isinstance(operand, cfg.Var):
+            return def_key(operand.name)
+        return const_key(operand.value, stmt_uid)
+
+    def add_use(operand: cfg.Operand, stmt_uid: int):
+        """Anchor an operand use at a statement and wire its def in."""
+        if isinstance(operand, cfg.Var):
+            use = use_key(operand.name, stmt_uid)
+            seg.add_data_edge(def_key(operand.name), use, T.TRUE)
+            return use
+        return seg.add_vertex(const_key(operand.value, stmt_uid))
+
+    for label in function.block_order():
+        block = function.blocks[label]
+        controls = prepared.control_deps.get(label, [])
+        control_list = []
+        for branch_label, taken in controls:
+            branch = function.blocks[branch_label].terminator
+            assert isinstance(branch, cfg.Branch)
+            if isinstance(branch.cond, cfg.Var):
+                control_list.append((branch.cond.name, taken))
+        for instr in block.all_instrs():
+            seg.instr_by_uid[instr.uid] = instr
+            if control_list:
+                seg.control[instr.uid] = list(control_list)
+            dest = instr.defined_var()
+            if dest is not None:
+                seg.def_instr[dest] = instr
+            _add_instr_edges(seg, instr, points_to, gates, operand_vertex, add_use)
+    return seg
+
+
+def _add_instr_edges(seg, instr, points_to, gates, operand_vertex, add_use):
+    if isinstance(instr, cfg.Assign):
+        seg.add_data_edge(operand_vertex(instr.src, instr.uid), def_key(instr.dest), T.TRUE)
+    elif isinstance(instr, cfg.Phi):
+        for index, (_, operand) in enumerate(instr.incomings):
+            gate = gates.gate(instr, index)
+            if gate is T.FALSE:
+                continue
+            seg.add_data_edge(operand_vertex(operand, instr.uid), def_key(instr.dest), gate)
+    elif isinstance(instr, (cfg.BinOp, cfg.UnOp)):
+        # Operator vertex encoding the symbolic expression (Example 3.3).
+        operator = op_key(instr.uid)
+        operands = (
+            (instr.lhs, instr.rhs) if isinstance(instr, cfg.BinOp) else (instr.operand,)
+        )
+        for operand in operands:
+            seg.add_data_edge(
+                operand_vertex(operand, instr.uid), operator, T.TRUE, is_copy=False
+            )
+        seg.add_data_edge(operator, def_key(instr.dest), T.TRUE, is_copy=False)
+    elif isinstance(instr, cfg.Load):
+        add_use(instr.pointer, instr.uid)  # dereference anchor (sink)
+        for value, cond in points_to.load_values.get(instr.uid, ()):  # noqa: B909
+            seg.add_data_edge(operand_vertex(value, instr.uid), def_key(instr.dest), cond)
+    elif isinstance(instr, cfg.Store):
+        add_use(instr.pointer, instr.uid)  # dereference anchor (sink)
+        add_use(instr.value, instr.uid)
+    elif isinstance(instr, cfg.Malloc):
+        seg.add_vertex(def_key(instr.dest))
+    elif isinstance(instr, cfg.Call):
+        seg.call_sites.append(instr)
+        for operand in instr.args:
+            add_use(operand, instr.uid)  # actual-parameter anchors
+        for receiver in instr.all_receivers():
+            seg.add_vertex(def_key(receiver))  # filled by callee summaries
+    elif isinstance(instr, cfg.Ret):
+        seg.return_instr = instr
+        if instr.value is not None:
+            add_use(instr.value, instr.uid)  # return-value anchors
+        for operand in instr.extra_values:
+            add_use(operand, instr.uid)
+    elif isinstance(instr, cfg.Branch):
+        if isinstance(instr.cond, cfg.Var):
+            add_use(instr.cond, instr.uid)
+    # Jump: no dependence.

@@ -1,0 +1,59 @@
+"""Constraint terms and solvers.
+
+This package provides the three constraint-solving layers used by the
+Pinpoint reproduction:
+
+- :mod:`repro.smt.terms` — hash-consed symbolic terms (the constraint
+  language shared by the points-to analysis, the SEG, and the checkers).
+- :mod:`repro.smt.linear_solver` — the paper's linear-time contradiction
+  solver (Section 3.1.1) that filters "easy" unsatisfiable conditions.
+- :mod:`repro.smt.solver` — a small DPLL(T)-style SMT solver (CDCL SAT
+  core plus an equality/arithmetic theory) standing in for Z3.
+"""
+
+from repro.smt.terms import (
+    FALSE,
+    TRUE,
+    Term,
+    TermFactory,
+    and_,
+    bool_var,
+    const,
+    eq,
+    ge,
+    gt,
+    iff,
+    implies,
+    int_var,
+    le,
+    lt,
+    ne,
+    not_,
+    or_,
+)
+from repro.smt.linear_solver import LinearSolver
+from repro.smt.solver import Result, SMTSolver
+
+__all__ = [
+    "FALSE",
+    "TRUE",
+    "Term",
+    "TermFactory",
+    "LinearSolver",
+    "Result",
+    "SMTSolver",
+    "and_",
+    "bool_var",
+    "const",
+    "eq",
+    "ge",
+    "gt",
+    "iff",
+    "implies",
+    "int_var",
+    "le",
+    "lt",
+    "ne",
+    "not_",
+    "or_",
+]

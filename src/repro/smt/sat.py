@@ -1,0 +1,341 @@
+"""A compact CDCL SAT solver.
+
+This is the boolean core of the reproduction's SMT solver (the stand-in
+for Z3).  It implements the standard conflict-driven clause learning loop:
+two-watched-literal unit propagation, 1UIP conflict analysis,
+non-chronological backjumping, and an activity-based (VSIDS-style)
+decision heuristic with Luby restarts.
+
+Literal encoding: variable ``v`` (1-based int) has positive literal
+``2*v`` and negative literal ``2*v + 1``; ``lit ^ 1`` negates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+UNASSIGNED = -1
+
+
+def var_of(lit: int) -> int:
+    return lit >> 1
+
+
+def is_pos(lit: int) -> bool:
+    return (lit & 1) == 0
+
+
+def pos_lit(var: int) -> int:
+    return var << 1
+
+
+def neg_lit(var: int) -> int:
+    return (var << 1) | 1
+
+
+class SatSolver:
+    """CDCL solver over integer-encoded literals."""
+
+    def __init__(self) -> None:
+        self._num_vars = 0
+        self._clauses: List[List[int]] = []
+        self._watches: List[List[int]] = [[], []]  # per literal: clause idxs
+        self._assign: List[int] = [UNASSIGNED]  # per var: 0/1/UNASSIGNED
+        self._level: List[int] = [0]
+        self._reason: List[int] = [-1]  # clause idx or -1 for decisions
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._qhead = 0
+        self._activity: List[float] = [0.0]
+        self._act_inc = 1.0
+        self._ok = True
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+
+    # ------------------------------------------------------------------
+    # Problem construction
+    # ------------------------------------------------------------------
+    def new_var(self) -> int:
+        self._num_vars += 1
+        self._assign.append(UNASSIGNED)
+        self._level.append(0)
+        self._reason.append(-1)
+        self._activity.append(0.0)
+        self._watches.append([])
+        self._watches.append([])
+        return self._num_vars
+
+    def add_clause(self, lits: Iterable[int]) -> bool:
+        """Add a clause; returns False if the formula became trivially unsat."""
+        if not self._ok:
+            return False
+        # Clauses may arrive between solve() calls (theory blocking);
+        # return to the root level before touching assignments.
+        self._cancel_until(0)
+        unique: List[int] = []
+        seen = set()
+        for lit in lits:
+            if lit in seen:
+                continue
+            if (lit ^ 1) in seen:
+                return True  # tautology
+            seen.add(lit)
+            unique.append(lit)
+        # Drop already-false literals at level 0, keep satisfied clauses out.
+        filtered: List[int] = []
+        for lit in unique:
+            val = self._value(lit)
+            if val == 1 and self._level[var_of(lit)] == 0:
+                return True
+            if val == 0 and self._level[var_of(lit)] == 0:
+                continue
+            filtered.append(lit)
+        if not filtered:
+            self._ok = False
+            return False
+        if len(filtered) == 1:
+            if not self._enqueue(filtered[0], -1):
+                self._ok = False
+                return False
+            return self._propagate() == -1 or self._fail()
+        idx = len(self._clauses)
+        self._clauses.append(filtered)
+        self._watch(filtered[0], idx)
+        self._watch(filtered[1], idx)
+        return True
+
+    def _fail(self) -> bool:
+        self._ok = False
+        return False
+
+    def _watch(self, lit: int, clause_idx: int) -> None:
+        self._watches[lit].append(clause_idx)
+
+    # ------------------------------------------------------------------
+    # Assignment handling
+    # ------------------------------------------------------------------
+    def _value(self, lit: int) -> int:
+        val = self._assign[var_of(lit)]
+        if val == UNASSIGNED:
+            return UNASSIGNED
+        return val ^ (lit & 1)
+
+    def value(self, var: int) -> int:
+        """Assignment of a variable: 0, 1, or UNASSIGNED."""
+        return self._assign[var]
+
+    def _enqueue(self, lit: int, reason: int) -> bool:
+        val = self._value(lit)
+        if val == 0:
+            return False
+        if val == 1:
+            return True
+        var = var_of(lit)
+        self._assign[var] = 1 if is_pos(lit) else 0
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._trail.append(lit)
+        return True
+
+    def _propagate(self) -> int:
+        """Unit propagation; returns conflicting clause index or -1."""
+        while self._qhead < len(self._trail):
+            lit = self._trail[self._qhead]
+            self._qhead += 1
+            self.propagations += 1
+            false_lit = lit ^ 1
+            watch_list = self._watches[false_lit]
+            new_list: List[int] = []
+            conflict = -1
+            i = 0
+            while i < len(watch_list):
+                clause_idx = watch_list[i]
+                i += 1
+                clause = self._clauses[clause_idx]
+                # Ensure false_lit is at position 1.
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) == 1:
+                    new_list.append(clause_idx)
+                    continue
+                # Look for a replacement watch.
+                moved = False
+                for k in range(2, len(clause)):
+                    if self._value(clause[k]) != 0:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self._watch(clause[1], clause_idx)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                new_list.append(clause_idx)
+                if not self._enqueue(first, clause_idx):
+                    # Conflict: keep remaining watches, report.
+                    new_list.extend(watch_list[i:])
+                    conflict = clause_idx
+                    break
+            self._watches[false_lit] = new_list
+            if conflict != -1:
+                return conflict
+        return -1
+
+    # ------------------------------------------------------------------
+    # Conflict analysis (first UIP)
+    # ------------------------------------------------------------------
+    def _analyze(self, conflict_idx: int):
+        learnt: List[int] = [0]  # placeholder for asserting literal
+        seen = [False] * (self._num_vars + 1)
+        counter = 0
+        lit = -1
+        clause = self._clauses[conflict_idx]
+        index = len(self._trail) - 1
+        current_level = len(self._trail_lim)
+        while True:
+            for q in clause:
+                if lit != -1 and q == lit:
+                    continue
+                var = q >> 1
+                if not seen[var] and self._level[var] > 0:
+                    seen[var] = True
+                    self._bump(var)
+                    if self._level[var] >= current_level:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            while not seen[self._trail[index] >> 1]:
+                index -= 1
+            lit = self._trail[index]
+            index -= 1
+            var = lit >> 1
+            seen[var] = False
+            counter -= 1
+            if counter == 0:
+                break
+            clause = self._clauses[self._reason[var]]
+        learnt[0] = lit ^ 1
+        # Backjump level: max level among other literals.
+        back_level = 0
+        for q in learnt[1:]:
+            back_level = max(back_level, self._level[q >> 1])
+        return learnt, back_level
+
+    def _bump(self, var: int) -> None:
+        self._activity[var] += self._act_inc
+        if self._activity[var] > 1e100:
+            for i in range(1, self._num_vars + 1):
+                self._activity[i] *= 1e-100
+            self._act_inc *= 1e-100
+
+    def _decay(self) -> None:
+        self._act_inc /= 0.95
+
+    # ------------------------------------------------------------------
+    # Backtracking
+    # ------------------------------------------------------------------
+    def _cancel_until(self, level: int) -> None:
+        if len(self._trail_lim) <= level:
+            return
+        limit = self._trail_lim[level]
+        for lit in reversed(self._trail[limit:]):
+            var = var_of(lit)
+            self._assign[var] = UNASSIGNED
+            self._reason[var] = -1
+        del self._trail[limit:]
+        del self._trail_lim[level:]
+        self._qhead = len(self._trail)
+
+    def _decide(self) -> int:
+        best_var = 0
+        best_act = -1.0
+        for var in range(1, self._num_vars + 1):
+            if self._assign[var] == UNASSIGNED and self._activity[var] > best_act:
+                best_act = self._activity[var]
+                best_var = var
+        return best_var
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def solve(self, assumptions: Sequence[int] = (), max_conflicts: Optional[int] = None) -> Optional[bool]:
+        """Solve; returns True (sat), False (unsat), None (conflict budget hit)."""
+        if not self._ok:
+            return False
+        self._cancel_until(0)
+        if self._propagate() != -1:
+            self._ok = False
+            return False
+        # Assume each assumption at its own level.
+        for lit in assumptions:
+            if self._value(lit) == 1:
+                continue
+            if self._value(lit) == 0:
+                self._cancel_until(0)
+                return False
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(lit, -1)
+            if self._propagate() != -1:
+                self._cancel_until(0)
+                return False
+        assumption_level = len(self._trail_lim)
+        budget = max_conflicts if max_conflicts is not None else float("inf")
+        restart_base = 64
+        luby_index = 1
+        conflicts_here = 0
+        next_restart = restart_base * _luby(luby_index)
+        while True:
+            conflict = self._propagate()
+            if conflict != -1:
+                self.conflicts += 1
+                conflicts_here += 1
+                if conflicts_here > budget:
+                    self._cancel_until(0)
+                    return None
+                if len(self._trail_lim) <= assumption_level:
+                    self._cancel_until(0)
+                    return False
+                learnt, back_level = self._analyze(conflict)
+                back_level = max(back_level, assumption_level)
+                self._cancel_until(back_level)
+                if len(learnt) == 1:
+                    self._enqueue(learnt[0], -1)
+                else:
+                    idx = len(self._clauses)
+                    self._clauses.append(learnt)
+                    self._watch(learnt[0], idx)
+                    self._watch(learnt[1], idx)
+                    self._enqueue(learnt[0], idx)
+                self._decay()
+                if conflicts_here >= next_restart:
+                    luby_index += 1
+                    next_restart = conflicts_here + restart_base * _luby(luby_index)
+                    self._cancel_until(assumption_level)
+            else:
+                var = self._decide()
+                if var == 0:
+                    return True  # full assignment
+                self.decisions += 1
+                self._trail_lim.append(len(self._trail))
+                self._enqueue(pos_lit(var) if self._phase(var) else neg_lit(var), -1)
+
+    def _phase(self, var: int) -> bool:
+        # Default phase: positive.  Simple and adequate for our encodings.
+        return True
+
+    def model(self) -> List[int]:
+        """Assignment per variable index (0/1); index 0 unused."""
+        return list(self._assign)
+
+
+def _luby(i: int) -> int:
+    """The Luby restart sequence: 1 1 2 1 1 2 4 ..."""
+    k = 1
+    while (1 << (k + 1)) <= i + 1:
+        k += 1
+    while (1 << k) - 1 != i:
+        i = i - ((1 << (k - 1)) - 1) - 1
+        k = 1
+        while (1 << (k + 1)) <= i + 1:
+            k += 1
+    return 1 << (k - 1)

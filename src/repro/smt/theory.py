@@ -1,0 +1,275 @@
+"""Theory solver for the SMT stand-in.
+
+Decides conjunctions of theory atoms over program variables:
+
+- equalities / disequalities between variables, constants, and
+  uninterpreted arithmetic terms (congruence closure over the term DAG),
+- order atoms (``<``, ``<=``) which are turned into difference constraints
+  and checked for negative cycles (a small integer-difference-logic core),
+- evaluation of ground arithmetic once variables collapse to constants.
+
+This fragment covers exactly the path conditions produced by the analyses:
+value-flow equalities (``v1 == v2``), branch atoms (``x != 0``,
+``n < len``) and defining equations (``y == x + 1``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.smt import terms as T
+from repro.smt.terms import Term
+
+
+class TheoryConflict(Exception):
+    """Raised internally when an asserted atom set is inconsistent."""
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self.parent: Dict[int, int] = {}
+        self.rank: Dict[int, int] = {}
+
+    def find(self, x: int) -> int:
+        parent = self.parent
+        root = x
+        while parent.setdefault(root, root) != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> int:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self.rank.get(ra, 0) < self.rank.get(rb, 0):
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        if self.rank.get(ra, 0) == self.rank.get(rb, 0):
+            self.rank[ra] = self.rank.get(ra, 0) + 1
+        return ra
+
+
+class TheorySolver:
+    """Checks a conjunction of (possibly negated) theory atoms.
+
+    Usage: ``check(atoms)`` with a list of ``(atom_term, polarity)`` pairs.
+    Returns ``None`` when consistent, or a list of the atom pairs forming
+    an inconsistent subset (used as a theory-conflict clause).
+    """
+
+    def check(
+        self, atoms: Sequence[Tuple[Term, bool]]
+    ) -> Optional[List[Tuple[Term, bool]]]:
+        try:
+            self._run(atoms)
+            return None
+        except TheoryConflict:
+            # Conservative conflict explanation: all asserted atoms.  The
+            # SAT core blocks exactly this assignment; completeness is
+            # preserved, just with weaker learning.
+            return list(atoms)
+
+    # ------------------------------------------------------------------
+    def _run(self, atoms: Sequence[Tuple[Term, bool]]) -> None:
+        uf = _UnionFind()
+        terms_by_id: Dict[int, Term] = {}
+        diseq: List[Tuple[Term, Term]] = []
+        # Difference / order constraints as (a, b, strict) meaning a < b or
+        # a <= b between representatives.
+        orders: List[Tuple[Term, Term, bool]] = []
+
+        def register(term: Term) -> None:
+            if term.ident in terms_by_id:
+                return
+            terms_by_id[term.ident] = term
+            for arg in term.args:
+                register(arg)
+
+        for atom, polarity in atoms:
+            kind = atom.kind
+            if kind == T.KIND_BOOL_VAR:
+                continue  # pure boolean, no theory content
+            lhs, rhs = atom.args[0], atom.args[1]
+            register(lhs)
+            register(rhs)
+            if kind == T.KIND_EQ:
+                if polarity:
+                    uf.union(lhs.ident, rhs.ident)
+                else:
+                    diseq.append((lhs, rhs))
+            elif kind == T.KIND_NE:
+                if polarity:
+                    diseq.append((lhs, rhs))
+                else:
+                    uf.union(lhs.ident, rhs.ident)
+            elif kind == T.KIND_LT:
+                if polarity:
+                    orders.append((lhs, rhs, True))
+                else:
+                    orders.append((rhs, lhs, False))  # !(a<b) => b<=a
+            elif kind == T.KIND_LE:
+                if polarity:
+                    orders.append((lhs, rhs, False))
+                else:
+                    orders.append((rhs, lhs, True))
+            elif kind == T.KIND_GT:
+                if polarity:
+                    orders.append((rhs, lhs, True))
+                else:
+                    orders.append((lhs, rhs, False))
+            elif kind == T.KIND_GE:
+                if polarity:
+                    orders.append((rhs, lhs, False))
+                else:
+                    orders.append((lhs, rhs, True))
+
+        # Congruence closure to fixpoint: merging operands merges
+        # applications with equal signatures.
+        self._congruence(uf, terms_by_id)
+
+        # Constant propagation: two distinct constants in one class.
+        const_of = self._class_constants(uf, terms_by_id)
+
+        # Evaluate ground arithmetic and re-close.
+        changed = True
+        iterations = 0
+        while changed and iterations < 8:
+            iterations += 1
+            changed = self._fold_arith(uf, terms_by_id, const_of)
+            if changed:
+                self._congruence(uf, terms_by_id)
+                const_of = self._class_constants(uf, terms_by_id)
+
+        # Disequality check.
+        for lhs, rhs in diseq:
+            if uf.find(lhs.ident) == uf.find(rhs.ident):
+                raise TheoryConflict
+            cl, cr = const_of.get(uf.find(lhs.ident)), const_of.get(uf.find(rhs.ident))
+            if cl is not None and cr is not None and cl == cr:
+                raise TheoryConflict
+
+        # Order constraints: build a difference graph over class reps with
+        # edge a -> b weight -1 (a < b) or 0 (a <= b) meaning b - a >= 1 or 0;
+        # detect a positive-requirement cycle (Bellman-Ford on negation).
+        self._check_orders(uf, const_of, orders)
+
+    # ------------------------------------------------------------------
+    def _congruence(self, uf: _UnionFind, terms_by_id: Dict[int, Term]) -> None:
+        changed = True
+        while changed:
+            changed = False
+            signature: Dict[Tuple, int] = {}
+            for ident, term in terms_by_id.items():
+                if not term.args or not term.is_arith():
+                    continue
+                sig = (term.kind,) + tuple(uf.find(a.ident) for a in term.args)
+                other = signature.get(sig)
+                if other is None:
+                    signature[sig] = ident
+                elif uf.find(other) != uf.find(ident):
+                    uf.union(other, ident)
+                    changed = True
+
+    def _class_constants(
+        self, uf: _UnionFind, terms_by_id: Dict[int, Term]
+    ) -> Dict[int, int]:
+        const_of: Dict[int, int] = {}
+        for ident, term in terms_by_id.items():
+            if term.is_const():
+                rep = uf.find(ident)
+                existing = const_of.get(rep)
+                if existing is not None and existing != term.value:
+                    raise TheoryConflict
+                const_of[rep] = term.value
+        return const_of
+
+    def _fold_arith(
+        self,
+        uf: _UnionFind,
+        terms_by_id: Dict[int, Term],
+        const_of: Dict[int, int],
+    ) -> bool:
+        """Evaluate arithmetic terms whose operands are all constant."""
+        changed = False
+        for ident, term in list(terms_by_id.items()):
+            if not term.is_arith():
+                continue
+            rep = uf.find(ident)
+            existing = const_of.get(rep)
+            values = []
+            ok = True
+            for arg in term.args:
+                val = const_of.get(uf.find(arg.ident))
+                if val is None:
+                    ok = False
+                    break
+                values.append(val)
+            if not ok:
+                continue
+            if term.kind == T.KIND_ADD:
+                result = values[0] + values[1]
+            elif term.kind == T.KIND_SUB:
+                result = values[0] - values[1]
+            elif term.kind == T.KIND_MUL:
+                result = values[0] * values[1]
+            else:  # KIND_NEG
+                result = -values[0]
+            if existing is not None:
+                if existing != result:
+                    raise TheoryConflict
+                continue
+            const_term = T.FACTORY.const(result)
+            terms_by_id[const_term.ident] = const_term
+            uf.union(ident, const_term.ident)
+            const_of[uf.find(ident)] = result
+            changed = True
+        return changed
+
+    def _check_orders(
+        self,
+        uf: _UnionFind,
+        const_of: Dict[int, int],
+        orders: List[Tuple[Term, Term, bool]],
+    ) -> None:
+        if not orders:
+            return
+        # Edges: (u, v, w) encoding value(u) - value(v) <= w, i.e. a < b is
+        # a - b <= -1 and a <= b is a - b <= 0.  A negative cycle in this
+        # graph is a contradiction.  Constants are tied to a zero node.
+        edges: List[Tuple[int, int, int]] = []
+        nodes = set()
+        zero = -1
+        nodes.add(zero)
+        for lhs, rhs, strict in orders:
+            u, v = uf.find(lhs.ident), uf.find(rhs.ident)
+            cu, cv = const_of.get(u), const_of.get(v)
+            if cu is not None and cv is not None:
+                if strict and not cu < cv:
+                    raise TheoryConflict
+                if not strict and not cu <= cv:
+                    raise TheoryConflict
+                continue
+            nodes.add(u)
+            nodes.add(v)
+            edges.append((u, v, -1 if strict else 0))
+        for rep, value in const_of.items():
+            if rep in nodes:
+                # value(rep) - value(zero) <= value and >= value
+                edges.append((rep, zero, value))
+                edges.append((zero, rep, -value))
+        # Bellman-Ford negative-cycle detection.
+        dist = {node: 0 for node in nodes}
+        for _ in range(len(nodes)):
+            updated = False
+            for u, v, w in edges:
+                if dist[u] + w < dist[v]:
+                    dist[v] = dist[u] + w
+                    updated = True
+            if not updated:
+                return
+        # One more relaxation round finding an improvement => negative cycle.
+        for u, v, w in edges:
+            if dist[u] + w < dist[v]:
+                raise TheoryConflict

@@ -1,0 +1,32 @@
+"""Synthetic workload generation.
+
+The paper evaluates on real C/C++ codebases (SPEC INT 2000 plus eighteen
+open-source systems up to 8 MLoC) and on the Juliet Test Suite.  Neither
+is analyzable from pure Python offline, so this package generates
+programs in the analyzed language that reproduce the *structural*
+features driving the paper's results:
+
+- :mod:`repro.synth.generator` — parameterized program generator (size,
+  call depth, pointer density) with seeded true bugs and false-positive
+  traps, and ground truth for precision/recall measurement;
+- :mod:`repro.synth.projects` — the catalog of the paper's 30 subjects
+  (name, KLoC) and a scaled-down synthesizer per subject;
+- :mod:`repro.synth.juliet` — a Juliet-like suite: 51 structural flaw
+  variants of use-after-free/double-free with ground truth.
+"""
+
+from repro.synth.generator import GeneratorConfig, GroundTruth, SyntheticProgram, generate_program
+from repro.synth.projects import PAPER_SUBJECTS, Subject, synthesize_subject
+from repro.synth.juliet import JulietCase, generate_juliet_suite
+
+__all__ = [
+    "GeneratorConfig",
+    "GroundTruth",
+    "JulietCase",
+    "PAPER_SUBJECTS",
+    "Subject",
+    "SyntheticProgram",
+    "generate_juliet_suite",
+    "generate_program",
+    "synthesize_subject",
+]

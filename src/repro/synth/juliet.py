@@ -1,0 +1,234 @@
+"""A Juliet-like recall suite (paper Section 5.1.2).
+
+The paper measures recall on the NSA Juliet Test Suite: 1421 seeded
+use-after-free and double-free vulnerabilities across 51 structural flaw
+types, all of which Pinpoint detects.  This module generates an analogous
+suite: 51 structural variants built from the cross product of
+
+- *value routes* (how the freed pointer reaches the use): direct, one or
+  two copies, through a heap cell, through an identity helper, freed by a
+  callee, returned freed, through double indirection, through a phi;
+- *control shapes* around the use: straight-line, guarded by a
+  satisfiable condition, in an else branch, nested conditions, after a
+  loop;
+- *bug kinds*: use-after-free (dereference sink) or double-free (second
+  ``free`` sink).
+
+Each case carries a "bad" function (one seeded defect) and a "good" twin
+(the use happens before the free), so both recall and false positives on
+the suite can be measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+ROUTES = (
+    "direct",
+    "copy",
+    "copy2",
+    "heap",
+    "identity",
+    "callee-free",
+    "return-freed",
+    "double-indirect",
+    "phi",
+)
+CONTROLS = ("straight", "guarded", "else", "nested", "after-loop")
+BUG_KINDS = ("uaf", "df")
+
+NUM_VARIANTS = 51
+
+
+@dataclass(frozen=True)
+class JulietCase:
+    ident: int
+    bug_kind: str  # 'uaf' | 'df'
+    route: str
+    control: str
+    source: str  # program text: helpers + bad + good functions
+    bad_function: str
+    good_function: str
+
+
+def _variant_space() -> List[Tuple[str, str, str]]:
+    combos = []
+    for bug in BUG_KINDS:
+        for route in ROUTES:
+            for control in CONTROLS:
+                combos.append((bug, route, control))
+    return combos
+
+
+def generate_juliet_suite(
+    count: int = NUM_VARIANTS, instances_per_variant: int = 1
+) -> List[JulietCase]:
+    """The first ``count`` variants of the structured space (51 default,
+    matching the paper's 51 flaw types).
+
+    ``instances_per_variant`` clones each flaw type with distinct
+    function names (as Juliet instantiates each CWE variant many times);
+    the paper's suite has 1421 seeded defects over the 51 types, which
+    ``instances_per_variant=28`` approximates (51 * 28 = 1428).
+    """
+    cases = []
+    ident = 0
+    for bug, route, control in _variant_space()[:count]:
+        for _ in range(instances_per_variant):
+            ident += 1
+            cases.append(_build_case(ident, bug, route, control))
+    return cases
+
+
+def generate_full_scale_suite() -> List[JulietCase]:
+    """Approximately the paper's 1421-defect suite: 51 flaw types x 28
+    instances = 1428 seeded use-after-free/double-free defects."""
+    return generate_juliet_suite(NUM_VARIANTS, instances_per_variant=28)
+
+
+def suite_source(cases: List[JulietCase]) -> str:
+    """All cases concatenated into one program."""
+    return "\n".join(case.source for case in cases)
+
+
+# ----------------------------------------------------------------------
+def _build_case(ident: int, bug: str, route: str, control: str) -> JulietCase:
+    base = f"cwe{415 if bug == 'df' else 416}_v{ident}"
+    bad_name = f"{base}_bad"
+    good_name = f"{base}_good"
+    helpers, setup, freed_var = _route_lines(base, route)
+    sink_bad = _sink(bug, freed_var)
+    sink_good = _good_sink(freed_var)
+
+    bad_body = list(setup) + _wrap_control(control, sink_bad)
+    # Good twin: use first, then free once (still exercising the route's
+    # shape where possible).
+    good_body = (
+        ["    p = malloc();", "    *p = a;", f"    x = {'*p' if bug == 'uaf' else '0'};", "    free(p);"]
+        if route != "callee-free"
+        else ["    p = malloc();", "    x = *p;", f"    {base}_release(p);"]
+    )
+
+    lines = []
+    lines.extend(helpers)
+    lines.append(f"fn {bad_name}(a) {{")
+    lines.extend(bad_body)
+    lines.append("    return 0;")
+    lines.append("}")
+    lines.append(f"fn {good_name}(a) {{")
+    lines.extend(good_body)
+    lines.append("    return x;" if any("x =" in l for l in good_body) else "    return 0;")
+    lines.append("}")
+    return JulietCase(
+        ident=ident,
+        bug_kind=bug,
+        route=route,
+        control=control,
+        source="\n".join(lines) + "\n",
+        bad_function=bad_name,
+        good_function=good_name,
+    )
+
+
+def _route_lines(base: str, route: str):
+    """Returns (helper function lines, setup lines inside bad(), the
+    variable holding the dangling pointer at the sink)."""
+    helpers: List[str] = []
+    setup = ["    p = malloc();", "    *p = a;"]
+    if route == "direct":
+        setup.append("    free(p);")
+        return helpers, setup, "p"
+    if route == "copy":
+        setup.append("    q = p;")
+        setup.append("    free(p);")
+        return helpers, setup, "q"
+    if route == "copy2":
+        setup.append("    q = p;")
+        setup.append("    r = q;")
+        setup.append("    free(p);")
+        return helpers, setup, "r"
+    if route == "heap":
+        setup = [
+            "    holder = malloc();",
+            "    p = malloc();",
+            "    *holder = p;",
+            "    free(p);",
+            "    q = *holder;",
+        ]
+        return helpers, setup, "q"
+    if route == "identity":
+        helpers = [f"fn {base}_id(v) {{ return v; }}"]
+        setup.append(f"    q = {base}_id(p);")
+        setup.append("    free(p);")
+        return helpers, setup, "q"
+    if route == "callee-free":
+        helpers = [f"fn {base}_release(v) {{ free(v); return 0; }}"]
+        setup.append(f"    {base}_release(p);")
+        return helpers, setup, "p"
+    if route == "return-freed":
+        helpers = [
+            f"fn {base}_make() {{",
+            "    v = malloc();",
+            "    free(v);",
+            "    return v;",
+            "}",
+        ]
+        setup = [f"    p = {base}_make();"]
+        return helpers, setup, "p"
+    if route == "double-indirect":
+        setup = [
+            "    outer = malloc();",
+            "    inner = malloc();",
+            "    p = malloc();",
+            "    *outer = inner;",
+            "    *inner = p;",
+            "    free(p);",
+            "    q = **outer;",
+        ]
+        return helpers, setup, "q"
+    # phi: the pointer survives a join with itself.
+    setup.append("    if (a > 3) { q = p; } else { q = p; }")
+    setup.append("    free(q);")
+    return helpers, setup, "p"
+
+
+def _sink(bug: str, var: str) -> str:
+    if bug == "uaf":
+        return f"x = *{var};"
+    return f"free({var});"
+
+
+def _good_sink(var: str) -> str:
+    return f"x = *{var};"
+
+
+def _wrap_control(control: str, sink: str) -> List[str]:
+    if control == "straight":
+        return [f"    {sink}"]
+    if control == "guarded":
+        return ["    if (a > 1) {", f"        {sink}", "    }"]
+    if control == "else":
+        return [
+            "    if (a > 1) {",
+            "        y = a + 1;",
+            "    } else {",
+            f"        {sink}",
+            "    }",
+        ]
+    if control == "nested":
+        return [
+            "    if (a > 1) {",
+            "        if (a < 100) {",
+            f"            {sink}",
+            "        }",
+            "    }",
+        ]
+    # after-loop
+    return [
+        "    i = 0;",
+        "    while (i < a) {",
+        "        i = i + 1;",
+        "    }",
+        f"    {sink}",
+    ]

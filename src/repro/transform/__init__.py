@@ -1,0 +1,23 @@
+"""Mod/Ref analysis and the connector transformation (paper §3.1.2).
+
+The connector model exposes a function's side effects on non-local memory
+through its interface: Aux formal parameters carry the incoming values of
+referenced locations ``*(p, k)``, Aux return values carry the outgoing
+values of modified ones (Definition 3.1, Fig. 3).  Call sites are
+transformed to feed and collect these connectors.
+"""
+
+from repro.transform.modref import ModRefSummary, compute_modref
+from repro.transform.connectors import (
+    ConnectorSignature,
+    transform_function_interface,
+    transform_call_sites,
+)
+
+__all__ = [
+    "ConnectorSignature",
+    "ModRefSummary",
+    "compute_modref",
+    "transform_call_sites",
+    "transform_function_interface",
+]

@@ -1,0 +1,5 @@
+"""Visualization helpers: Graphviz dot export for CFGs and SEGs."""
+
+from repro.viz.dot import cfg_to_dot, seg_to_dot
+
+__all__ = ["cfg_to_dot", "seg_to_dot"]

@@ -1,0 +1,105 @@
+"""Graphviz dot rendering for CFGs and SEGs.
+
+These are debugging/teaching aids: the SEG render mirrors the paper's
+Fig. 4 (solid data-dependence edges labeled with conditions, dashed
+control-dependence edges to branch variables).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.ir import cfg
+from repro.seg.graph import SEG, VertexKey
+from repro.smt import terms as T
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def cfg_to_dot(function: cfg.Function) -> str:
+    """Render a function's CFG: one record node per basic block."""
+    lines = [f'digraph "{_escape(function.name)}_cfg" {{', "  node [shape=box];"]
+    for label in function.block_order():
+        block = function.blocks[label]
+        body = "\\l".join(_escape(repr(instr)) for instr in block.all_instrs())
+        lines.append(f'  "{label}" [label="{label}:\\l{body}\\l"];')
+        for succ in block.succs:
+            lines.append(f'  "{label}" -> "{succ}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _vertex_id(key: VertexKey) -> str:
+    return _escape("_".join(str(part) for part in key))
+
+
+def _vertex_label(key: VertexKey) -> str:
+    kind = key[0]
+    if kind == "def":
+        return key[1]
+    if kind == "use":
+        return f"{key[1]}@{key[2]}"
+    if kind == "const":
+        return str(key[1])
+    return f"op#{key[1]}"
+
+
+def seg_to_dot(seg: SEG) -> str:
+    """Render a SEG in the style of the paper's Fig. 4."""
+    lines = [f'digraph "{_escape(seg.function_name)}_seg" {{']
+    lines.append("  rankdir=BT;")
+    emitted = set()
+
+    def emit_vertex(key: VertexKey) -> str:
+        ident = _vertex_id(key)
+        if ident not in emitted:
+            emitted.add(ident)
+            shape = {
+                "def": "ellipse",
+                "use": "ellipse",
+                "const": "plaintext",
+                "op": "diamond",
+            }[key[0]]
+            lines.append(
+                f'  "{ident}" [label="{_escape(_vertex_label(key))}", shape={shape}];'
+            )
+        return ident
+
+    for edges in seg.out_edges.values():
+        for edge in edges:
+            src = emit_vertex(edge.src)
+            dst = emit_vertex(edge.dst)
+            attrs = []
+            if edge.label is not T.TRUE:
+                attrs.append(f'label="{_escape(str(edge.label))}"')
+            if not edge.is_copy:
+                attrs.append("color=gray")
+            attr_text = f" [{', '.join(attrs)}]" if attrs else ""
+            lines.append(f'  "{src}" -> "{dst}"{attr_text};')
+
+    # Control dependence: dashed edges from a representative statement
+    # vertex to the governing branch variable, labeled true/false.
+    for stmt_uid, controls in seg.control.items():
+        instr = seg.instr_by_uid.get(stmt_uid)
+        if instr is None:
+            continue
+        dest = instr.defined_var()
+        anchor: VertexKey
+        if dest is not None:
+            anchor = ("def", dest)
+        else:
+            used = instr.used_vars()
+            if not used:
+                continue
+            anchor = ("use", used[0], stmt_uid)
+        src_id = emit_vertex(anchor)
+        for cond_var, taken in controls:
+            dst_id = emit_vertex(("def", cond_var))
+            lines.append(
+                f'  "{src_id}" -> "{dst_id}" '
+                f'[style=dashed, label="{"true" if taken else "false"}"];'
+            )
+    lines.append("}")
+    return "\n".join(lines)

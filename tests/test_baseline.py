@@ -1,0 +1,99 @@
+"""Tests for report baselining/suppression."""
+
+import pytest
+
+from repro import Pinpoint, UseAfterFreeChecker
+from repro.core.baseline import Baseline, finding_key
+
+V1 = """
+fn main() {
+    p = malloc();
+    free(p);
+    x = *p;
+    return x;
+}
+"""
+
+# Same finding, shifted lines (a comment added above), plus a new bug.
+V2 = """
+// changelog entry
+// another line
+fn main() {
+    p = malloc();
+    free(p);
+    x = *p;
+    return x;
+}
+fn fresh() {
+    q = malloc();
+    free(q);
+    y = *q;
+    return y;
+}
+"""
+
+
+def run(source):
+    return Pinpoint.from_source(source).check(UseAfterFreeChecker())
+
+
+def test_baseline_from_results_roundtrip():
+    result = run(V1)
+    baseline = Baseline.from_results([result])
+    assert len(baseline) == 1
+    text = baseline.to_json()
+    reloaded = Baseline.from_json(text)
+    assert reloaded.findings == baseline.findings
+
+
+def test_baseline_suppresses_known_findings():
+    baseline = Baseline.from_results([run(V1)])
+    second = run(V1)
+    assert baseline.filter_new(second) == []
+
+
+def test_line_shifts_do_not_resurface():
+    baseline = Baseline.from_results([run(V1)])
+    second = run(V2)
+    new = baseline.filter_new(second)
+    assert len(new) == 1
+    assert new[0].source.function == "fresh"
+
+
+def test_fixed_findings_detected():
+    baseline = Baseline.from_results([run(V2)])
+    second = run(V1)  # `fresh` removed
+    fixed = baseline.filter_fixed(second)
+    assert len(fixed) == 1
+    assert fixed[0][1] == "fresh"
+
+
+def test_contains_and_merge():
+    first = Baseline.from_results([run(V1)])
+    second = Baseline.from_results([run(V2)])
+    merged = first.merge(second)
+    assert len(merged) == len(second)
+    report = run(V1).reports[0]
+    assert report in merged
+
+
+def test_save_and_load(tmp_path):
+    baseline = Baseline.from_results([run(V1)])
+    path = tmp_path / "baseline.json"
+    baseline.save(str(path))
+    loaded = Baseline.load(str(path))
+    assert loaded.findings == baseline.findings
+
+
+def test_finding_key_ignores_lines():
+    reports = run(V1).reports
+    shifted = run(V2).reports
+    matching = [r for r in shifted if r.source.function == "main"]
+    assert finding_key(reports[0]) == finding_key(matching[0])
+    assert reports[0].source.line != matching[0].source.line
+
+
+def test_empty_baseline_passes_everything():
+    baseline = Baseline()
+    result = run(V2)
+    assert len(baseline.filter_new(result)) == len(result.reports)

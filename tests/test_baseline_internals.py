@@ -1,0 +1,169 @@
+"""Deeper tests of the baseline analyses' internals."""
+
+from repro.baselines.ifds import IFDSBaseline, _CopyClasses
+from repro.baselines.svf import SVFBaseline
+from repro.core.checkers import UseAfterFreeChecker
+from repro.ir import cfg
+from repro.ir.lower import lower_program
+from repro.ir.ssa import to_ssa
+from repro.lang.parser import parse_program
+
+
+def build_module(source: str):
+    module = lower_program(parse_program(source))
+    for function in module:
+        to_ssa(function)
+    return module
+
+
+# ----------------------------------------------------------------------
+# Copy classes (IFDS alias approximation)
+# ----------------------------------------------------------------------
+def test_copy_classes_union_through_assigns():
+    module = build_module("fn f(a) { b = a; c = b; d = 7; return c; }")
+    classes = _CopyClasses(module["f"])
+    assert classes.same("a.0", "c.0")
+    assert not classes.same("a.0", "d.0")
+
+
+def test_copy_classes_union_through_phi():
+    module = build_module(
+        "fn f(a, b, c) { if (c > 0) { x = a; } else { x = b; } return x; }"
+    )
+    function = module["f"]
+    classes = _CopyClasses(function)
+    phi = next(i for i in function.all_instrs() if isinstance(i, cfg.Phi))
+    # Phi merges both operands into one class (coarse, as intended).
+    assert classes.same(phi.dest, "a.0")
+    assert classes.same(phi.dest, "b.0")
+
+
+def test_copy_classes_members():
+    module = build_module("fn f(a) { b = a; return b; }")
+    classes = _CopyClasses(module["f"])
+    members = classes.members("a.0", ["a.0", "b.0"])
+    assert set(members) == {"a.0", "b.0"}
+
+
+# ----------------------------------------------------------------------
+# IFDS summaries
+# ----------------------------------------------------------------------
+def test_ifds_returns_dangling_summary():
+    baseline = IFDSBaseline.from_source(
+        """
+        fn make() { p = malloc(); free(p); return p; }
+        fn main() { q = make(); x = *q; return x; }
+        """
+    )
+    reports = baseline.check_use_after_free()
+    assert any(r.source.function == "main" for r in reports)
+
+
+def test_ifds_frees_param_summary_transitive():
+    baseline = IFDSBaseline.from_source(
+        """
+        fn inner(p) { free(p); return 0; }
+        fn outer(p) { inner(p); return 0; }
+        fn main() { q = malloc(); outer(q); x = *q; return x; }
+        """
+    )
+    reports = baseline.check_use_after_free()
+    assert reports
+
+
+def test_ifds_rounds_bounded():
+    baseline = IFDSBaseline.from_source(
+        """
+        fn a(p) { b(p); return 0; }
+        fn b(p) { a(p); return 0; }
+        fn main() { q = malloc(); a(q); return 0; }
+        """
+    )
+    baseline.check_use_after_free()  # mutual recursion must terminate
+    assert baseline.stats.rounds <= 20
+
+
+def test_ifds_stats_track_density():
+    baseline = IFDSBaseline.from_source(
+        "fn main() { p = malloc(); free(p); x = *p; return x; }"
+    )
+    baseline.check_use_after_free()
+    assert baseline.stats.propagations > 0
+    assert baseline.stats.seconds >= 0
+
+
+# ----------------------------------------------------------------------
+# SVF internals
+# ----------------------------------------------------------------------
+def test_svf_build_idempotent():
+    baseline = SVFBaseline.from_source(
+        "fn main() { p = malloc(); free(p); x = *p; return x; }"
+    )
+    baseline.build()
+    edges_first = baseline.stats.edges
+    baseline.build()  # second call is a no-op
+    assert baseline.stats.edges == edges_first
+
+
+def test_svf_edges_quadratic_in_shared_object_traffic():
+    # The pointer-trap pattern: every user stores a pointer through the
+    # shared helper and dereferences what comes back.  Context-insensitive
+    # points-to conflates all slots, so every user's load reads every
+    # object — store-load SVFG edges grow quadratically in users.
+    def program(n):
+        parts = [
+            "fn put(s, v) { *s = v; return 0; }",
+            "fn get(s) { v = *s; return v; }",
+        ]
+        for i in range(n):
+            parts.append(
+                f"fn user{i}(a) {{\n"
+                "    slot = malloc();\n"
+                "    p = malloc();\n"
+                "    *p = a;\n"
+                "    put(slot, p);\n"
+                "    r = get(slot);\n"
+                "    x = *r;\n"
+                "    return x;\n"
+                "}"
+            )
+        return "\n".join(parts)
+
+    small = SVFBaseline.from_source(program(5)).build()
+    large = SVFBaseline.from_source(program(20)).build()
+    # 4x the users -> super-linear edge growth through the shared helpers.
+    assert large.stats.edges > small.stats.edges * 6
+
+
+def test_svf_flow_insensitivity_reports_use_before_free():
+    # A documented imprecision of the condition-free, flow-insensitive
+    # traversal: it cannot order the use before the free, so even this
+    # correct program draws a warning (it counts toward the baseline's
+    # near-100% FP rate, as in the paper's Table 1).
+    baseline = SVFBaseline.from_source(
+        "fn main(a) { p = malloc(); *p = a; x = *p; free(p); return x; }"
+    )
+    assert len(baseline.check(UseAfterFreeChecker())) >= 1
+
+
+def test_svf_taint_checker_anchor_mode():
+    from repro.core.checkers import PathTraversalChecker
+
+    baseline = SVFBaseline.from_source(
+        """
+        fn main(n) {
+            data = fgetc();
+            f = fopen(data);
+            return f;
+        }
+        """
+    )
+    reports = baseline.check(PathTraversalChecker())
+    assert len(reports) >= 1
+
+
+def test_svf_silent_on_program_without_frees():
+    baseline = SVFBaseline.from_source(
+        "fn main(a) { p = malloc(); *p = a; x = *p; return x; }"
+    )
+    assert baseline.check(UseAfterFreeChecker()) == []

@@ -1,0 +1,228 @@
+"""Tests for the baseline analyses (SVF-layered, dense IFDS, intra-unit)."""
+
+from repro import Pinpoint, UseAfterFreeChecker
+from repro.baselines.ifds import IFDSBaseline
+from repro.baselines.intraunit import IntraUnitBaseline
+from repro.baselines.svf import SVFBaseline
+from repro.pta.andersen import AndersenAnalysis
+from repro.ir.lower import lower_program
+from repro.ir.ssa import to_ssa
+from repro.lang.parser import parse_program
+
+
+UAF_SIMPLE = """
+fn main() {
+    p = malloc();
+    free(p);
+    x = *p;
+    return x;
+}
+"""
+
+FP_TRAP = """
+fn main(c) {
+    p = malloc();
+    t = c > 0;
+    if (t) { free(p); }
+    if (!t) { x = *p; return x; }
+    return 0;
+}
+"""
+
+CROSS_UNIT = """
+fn release(p) { free(p); return 0; }
+fn main() {
+    p = malloc();
+    release(p);
+    x = *p;
+    return x;
+}
+"""
+
+
+# ----------------------------------------------------------------------
+# Andersen
+# ----------------------------------------------------------------------
+def build_module(source: str):
+    module = lower_program(parse_program(source))
+    for function in module:
+        to_ssa(function)
+    return module
+
+
+def test_andersen_malloc_target():
+    module = build_module("fn f() { p = malloc(); q = p; return q; }")
+    andersen = AndersenAnalysis(module).run()
+    func = module["f"]
+    p_var = next(
+        i.dest for i in func.all_instrs() if i.__class__.__name__ == "Malloc"
+    )
+    assert andersen.points_to("f", p_var)
+
+
+def test_andersen_store_load_aliasing():
+    module = build_module(
+        """
+        fn f() {
+            holder = malloc();
+            p = malloc();
+            *holder = p;
+            q = *holder;
+            return q;
+        }
+        """
+    )
+    andersen = AndersenAnalysis(module).run()
+    func = module["f"]
+    loads = [i for i in func.all_instrs() if i.__class__.__name__ == "Load"]
+    assert loads
+    assert andersen.points_to("f", loads[0].dest)
+
+
+def test_andersen_interprocedural_flow():
+    module = build_module(
+        """
+        fn id(p) { return p; }
+        fn f() { p = malloc(); q = id(p); return q; }
+        """
+    )
+    andersen = AndersenAnalysis(module).run()
+    func = module["f"]
+    call = next(i for i in func.all_instrs() if i.__class__.__name__ == "Call")
+    assert andersen.points_to("f", call.dest)
+
+
+def test_andersen_merges_unrelated_contexts():
+    # The hallmark imprecision: two callers of the same callee see each
+    # other's allocations (context-insensitive merge).
+    module = build_module(
+        """
+        fn id(p) { return p; }
+        fn f() { a = malloc(); x = id(a); return x; }
+        fn g() { b = malloc(); y = id(b); return y; }
+        """
+    )
+    andersen = AndersenAnalysis(module).run()
+    x = next(
+        i.dest for i in module["f"].all_instrs() if i.__class__.__name__ == "Call"
+    )
+    heap_objects = {
+        obj
+        for obj in andersen.points_to("f", x)
+        if obj.__class__.__name__ == "AllocObject"
+    }
+    assert len(heap_objects) == 2  # both allocations, conflated
+
+
+# ----------------------------------------------------------------------
+# SVF baseline
+# ----------------------------------------------------------------------
+def test_svf_finds_simple_uaf():
+    reports = SVFBaseline.from_source(UAF_SIMPLE).check(UseAfterFreeChecker())
+    assert len(reports) >= 1
+
+
+def test_svf_reports_fp_trap():
+    # Path-insensitive: the contradictory-branch trap IS reported.
+    reports = SVFBaseline.from_source(FP_TRAP).check(UseAfterFreeChecker())
+    assert len(reports) >= 1
+    # ... while Pinpoint prunes it.
+    pinpoint = Pinpoint.from_source(FP_TRAP).check(UseAfterFreeChecker())
+    assert len(pinpoint) == 0
+
+
+def test_svf_overapproximates_vs_pinpoint():
+    # Two unrelated pointers flowing through shared memory: the layered
+    # design conflates them and reports more warnings than Pinpoint.
+    source = """
+    fn main(c) {
+        slot = malloc();
+        p = malloc();
+        q = malloc();
+        t = c > 0;
+        if (t) { *slot = p; } else { *slot = q; }
+        if (t) { free(p); }
+        r = *slot;
+        if (!t) { x = *r; return x; }
+        return 0;
+    }
+    """
+    svf_reports = SVFBaseline.from_source(source).check(UseAfterFreeChecker())
+    pinpoint = Pinpoint.from_source(source).check(UseAfterFreeChecker())
+    assert len(svf_reports) > len(pinpoint)
+
+
+def test_svf_stats_populated():
+    baseline = SVFBaseline.from_source(CROSS_UNIT).build()
+    assert baseline.stats.nodes > 0
+    assert baseline.stats.edges > 0
+    assert baseline.stats.pts_size > 0
+
+
+def test_svf_finds_cross_unit():
+    reports = SVFBaseline.from_source(CROSS_UNIT).check(UseAfterFreeChecker())
+    assert len(reports) >= 1
+
+
+# ----------------------------------------------------------------------
+# IFDS dense baseline
+# ----------------------------------------------------------------------
+def test_ifds_finds_simple_uaf():
+    reports = IFDSBaseline.from_source(UAF_SIMPLE).check_use_after_free()
+    assert len(reports) >= 1
+
+
+def test_ifds_reports_fp_trap():
+    reports = IFDSBaseline.from_source(FP_TRAP).check_use_after_free()
+    assert len(reports) >= 1
+
+
+def test_ifds_cross_function():
+    reports = IFDSBaseline.from_source(
+        """
+        fn deref(p) { x = *p; return x; }
+        fn main() { p = malloc(); free(p); y = deref(p); return y; }
+        """
+    ).check_use_after_free()
+    assert len(reports) >= 1
+
+
+def test_ifds_propagation_counts_density():
+    # Dense: propagation count scales with statements, not with the
+    # number of value-flow edges.
+    baseline = IFDSBaseline.from_source(UAF_SIMPLE)
+    baseline.check_use_after_free()
+    assert baseline.stats.propagations > 0
+
+
+# ----------------------------------------------------------------------
+# Intra-unit (Infer/CSA) baseline
+# ----------------------------------------------------------------------
+def test_intraunit_finds_local_uaf():
+    reports = IntraUnitBaseline.from_source(UAF_SIMPLE).check(UseAfterFreeChecker())
+    assert len(reports) == 1
+
+
+def test_intraunit_misses_cross_unit():
+    # The defining weakness the paper shows in Table 3.
+    reports = IntraUnitBaseline.from_source(CROSS_UNIT).check(UseAfterFreeChecker())
+    assert len(reports) == 0
+
+
+def test_intraunit_reports_fp_trap():
+    reports = IntraUnitBaseline.from_source(FP_TRAP).check(UseAfterFreeChecker())
+    assert len(reports) == 1
+
+
+def test_intraunit_respects_flow_order():
+    reports = IntraUnitBaseline.from_source(
+        """
+        fn main() {
+            p = malloc();
+            x = *p;
+            free(p);
+            return x;
+        }
+        """
+    ).check(UseAfterFreeChecker())
+    assert len(reports) == 0

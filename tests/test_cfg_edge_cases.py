@@ -1,0 +1,125 @@
+"""CFG shape edge cases: returns inside loops, constant conditions,
+unreachable code, degenerate functions."""
+
+import pytest
+
+from repro import Pinpoint, UseAfterFreeChecker
+from repro.lang.interp import run_function
+
+
+def check_uaf(source: str):
+    return Pinpoint.from_source(source).check(UseAfterFreeChecker())
+
+
+def test_return_inside_loop_body():
+    assert len(check_uaf("fn f(c) { while (c > 0) { return 1; } return 0; }")) == 0
+
+
+def test_constant_true_loop():
+    assert len(check_uaf("fn f() { while (true) { x = 1; } return 0; }")) == 0
+
+
+def test_conditional_return_inside_loop():
+    source = """
+    fn f(c) {
+        while (c > 0) {
+            if (c > 5) { return 9; }
+            c = c - 1;
+        }
+        return 0;
+    }
+    """
+    assert len(check_uaf(source)) == 0
+    interp = run_function(source, "f", 7)
+    assert not interp.violations
+
+
+def test_constant_condition_branch():
+    assert len(check_uaf("fn f(c) { if (true) { return 1; } else { return 2; } }")) == 0
+
+
+def test_uaf_inside_infinite_loop_found():
+    result = check_uaf(
+        "fn f() { p = malloc(); while (true) { free(p); x = *p; return x; } return 0; }"
+    )
+    assert len(result) == 1
+
+
+def test_loop_with_break_via_condition():
+    source = """
+    fn f(n) {
+        i = 0;
+        done = 0;
+        while (done == 0) {
+            i = i + 1;
+            if (i >= n) { done = 1; }
+        }
+        return i;
+    }
+    """
+    assert len(check_uaf(source)) == 0
+    interp = run_function(source, "f", 4)
+    assert not interp.violations
+
+
+def test_free_then_return_before_use():
+    # The use is on a path the return cuts off.
+    result = check_uaf(
+        """
+        fn f(c) {
+            p = malloc();
+            free(p);
+            return 0;
+            x = *p;
+            return x;
+        }
+        """
+    )
+    assert len(result) == 0  # dead code after return is dropped
+
+
+def test_empty_then_branch():
+    assert len(check_uaf("fn f(c) { if (c > 0) { } return 0; }")) == 0
+
+
+def test_both_arms_return_no_join():
+    result = check_uaf(
+        """
+        fn f(c) {
+            p = malloc();
+            if (c > 0) { free(p); return 0; }
+            else { x = *p; return x; }
+        }
+        """
+    )
+    assert len(result) == 0  # free and use on exclusive arms
+
+
+def test_sequential_loops():
+    source = """
+    fn f(n) {
+        i = 0;
+        while (i < n) { i = i + 1; }
+        j = 0;
+        while (j < n) { j = j + 1; }
+        return i + j;
+    }
+    """
+    assert len(check_uaf(source)) == 0
+
+
+def test_loop_condition_uses_heap():
+    source = """
+    fn f(n) {
+        counter = malloc();
+        *counter = 0;
+        v = *counter;
+        while (v < n) {
+            v = v + 1;
+            *counter = v;
+        }
+        free(counter);
+        return 0;
+    }
+    """
+    assert len(check_uaf(source)) == 0

@@ -1,0 +1,163 @@
+"""Tests for the command-line interface and dot export."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+UAF = """
+fn main() {
+    p = malloc();
+    free(p);
+    x = *p;
+    return x;
+}
+"""
+
+CLEAN = """
+fn main(a) {
+    p = malloc();
+    *p = a;
+    x = *p;
+    free(p);
+    return x;
+}
+"""
+
+
+@pytest.fixture
+def uaf_file(tmp_path):
+    path = tmp_path / "uaf.pin"
+    path.write_text(UAF)
+    return str(path)
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.pin"
+    path.write_text(CLEAN)
+    return str(path)
+
+
+def test_check_finds_bug(uaf_file, capsys):
+    code = main(["check", uaf_file])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "use-after-free" in out
+    assert "flows to" in out
+
+
+def test_check_clean_exits_zero(clean_file, capsys):
+    code = main(["check", clean_file])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "0 reports" in out
+
+
+def test_check_json_output(uaf_file, capsys):
+    code = main(["check", uaf_file, "--json"])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload["reports"]) == 1
+    report = payload["reports"][0]
+    assert report["checker"] == "use-after-free"
+    assert report["source"]["function"] == "main"
+
+
+def test_check_all_checkers(uaf_file, capsys):
+    code = main(["check", uaf_file, "--all"])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "memory-leak" in out
+    assert "null-deref" in out
+
+
+def test_check_stats_flag(uaf_file, capsys):
+    main(["check", uaf_file, "--stats"])
+    out = capsys.readouterr().out
+    assert "[stats]" in out
+    assert "vertices" in out
+
+
+def test_check_specific_checker(uaf_file, capsys):
+    code = main(["check", uaf_file, "--checker", "double-free"])
+    assert code == 0  # only one free: no double free
+
+
+def test_run_detects_violation(uaf_file, capsys):
+    code = main(["run", uaf_file])
+    assert code == 1
+    assert "use-after-free" in capsys.readouterr().out
+
+
+def test_run_clean(clean_file, capsys):
+    code = main(["run", clean_file, "--args", "5"])
+    assert code == 0
+    assert "no memory-safety violations" in capsys.readouterr().out
+
+
+def test_dump_seg(uaf_file, capsys):
+    code = main(["dump-seg", uaf_file, "--function", "main"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert out.startswith("digraph")
+    assert "p.0" in out
+
+
+def test_dump_seg_missing_function(uaf_file, capsys):
+    code = main(["dump-seg", uaf_file, "--function", "nope"])
+    assert code == 2
+
+
+def test_dump_cfg(uaf_file, capsys):
+    code = main(["dump-cfg", uaf_file, "--function", "main"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "digraph" in out
+    assert "entry" in out
+
+
+def test_generate_to_stdout(capsys):
+    code = main(["generate", "--lines", "120", "--seed", "3"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "fn " in out
+
+
+def test_generate_to_file(tmp_path, capsys):
+    target = tmp_path / "gen.pin"
+    code = main(["generate", "--lines", "150", "--seed", "3", "-o", str(target)])
+    assert code == 0
+    assert target.exists()
+    assert "wrote" in capsys.readouterr().out
+    # The generated file round-trips through the checker.
+    assert main(["check", str(target), "--checker", "use-after-free"]) in (0, 1)
+
+
+def test_check_generated_workload_end_to_end(tmp_path):
+    target = tmp_path / "work.pin"
+    main(["generate", "--lines", "400", "--seed", "9", "-o", str(target)])
+    # Seeded bugs exist at this size, so the checker must exit 1.
+    assert main(["check", str(target)]) == 1
+
+
+def test_path_insensitive_flag(uaf_file):
+    assert main(["check", uaf_file, "--no-smt", "--no-linear-filter"]) == 1
+
+
+def test_baseline_workflow(uaf_file, tmp_path, capsys):
+    baseline_path = str(tmp_path / "baseline.json")
+    # First run records the finding.
+    code = main(["check", uaf_file, "--update-baseline", baseline_path])
+    assert code == 1
+    capsys.readouterr()
+    # Second run with the baseline suppresses it and exits clean.
+    code = main(["check", uaf_file, "--baseline", baseline_path])
+    assert code == 0
+    assert "suppressed 1 known" in capsys.readouterr().out
+
+
+def test_baseline_missing_file_treated_empty(uaf_file, tmp_path):
+    code = main(["check", uaf_file, "--baseline", str(tmp_path / "nope.json")])
+    assert code == 1

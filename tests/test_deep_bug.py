@@ -1,0 +1,68 @@
+"""Tests for the deep-bug builder (paper section 5.2's 36-function UAF)."""
+
+import pytest
+
+from repro import EngineConfig, Pinpoint, UseAfterFreeChecker
+from repro.lang.interp import run_function
+from repro.lang.parser import parse_program
+from repro.synth.deepbug import build_deep_bug
+
+
+def test_builder_shapes():
+    bug = build_deep_bug(depth=36)
+    program = parse_program(bug.source)
+    assert len(program.functions) == 35  # 34 chain functions + driver
+    assert len(bug.functions_on_path) == 35
+    assert bug.free_function.startswith("down")
+    assert bug.deref_function.startswith("use")
+
+
+def test_deep_bug_detected_at_paper_depth():
+    """The 36-function use-after-free the paper highlights in MySQL."""
+    bug = build_deep_bug(depth=36)
+    engine = Pinpoint.from_source(bug.source)
+    result = engine.check(UseAfterFreeChecker())
+    assert len(result) >= 1
+    report = result.reports[0]
+    assert report.source.function == bug.free_function
+    assert report.sink.function == bug.deref_function
+
+
+def test_deep_bug_detected_smaller_depths():
+    for depth in (4, 8, 16):
+        bug = build_deep_bug(depth=depth)
+        result = Pinpoint.from_source(bug.source).check(UseAfterFreeChecker())
+        assert len(result) >= 1, f"missed at depth {depth}"
+
+
+def test_deep_bug_dynamically_real():
+    bug = build_deep_bug(depth=20)
+    # flag must pass every guard (if flag > level); 100 clears them all.
+    interp = run_function(bug.source, "driver", 100, halt_on_violation=False)
+    kinds = {v.kind for v in interp.violations}
+    assert "use-after-free" in kinds
+
+
+def test_deep_bug_guard_blocks_dynamic_trigger():
+    bug = build_deep_bug(depth=20, guard_every=5)
+    # flag = 0 fails the first guard: the free never runs, no violation.
+    interp = run_function(bug.source, "driver", 0, halt_on_violation=False)
+    kinds = {v.kind for v in interp.violations}
+    assert "use-after-free" not in kinds
+
+
+def test_deep_bug_report_condition_mentions_guards():
+    bug = build_deep_bug(depth=16, guard_every=5)
+    result = Pinpoint.from_source(bug.source).check(UseAfterFreeChecker())
+    assert len(result) >= 1
+    report = result.reports[0]
+    # The assembled condition for a 16-function chain is long; the report
+    # either shows it (mentioning the guard flags) or elides it with the
+    # truncation marker.  Either way the verdict is a genuine SAT.
+    assert "flag" in report.condition or report.condition == "..."
+    assert report.verdict == "sat"
+
+
+def test_builder_rejects_tiny_depth():
+    with pytest.raises(ValueError):
+        build_deep_bug(depth=3)

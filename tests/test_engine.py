@@ -1,0 +1,431 @@
+"""End-to-end tests of the Pinpoint engine (Section 3.3)."""
+
+import pytest
+
+from repro import (
+    DoubleFreeChecker,
+    EngineConfig,
+    MemoryLeakChecker,
+    NullDereferenceChecker,
+    Pinpoint,
+    UseAfterFreeChecker,
+)
+
+
+def check_uaf(source: str, config=None):
+    return Pinpoint.from_source(source, config).check(UseAfterFreeChecker())
+
+
+# ----------------------------------------------------------------------
+# Intra-procedural use-after-free
+# ----------------------------------------------------------------------
+def test_simple_uaf_detected():
+    result = check_uaf(
+        """
+        fn main() {
+            p = malloc();
+            free(p);
+            x = *p;
+            return x;
+        }
+        """
+    )
+    assert len(result) == 1
+    report = result.reports[0]
+    assert report.checker == "use-after-free"
+    assert report.source.function == "main"
+
+
+def test_no_uaf_when_use_before_free():
+    result = check_uaf(
+        """
+        fn main() {
+            p = malloc();
+            x = *p;
+            free(p);
+            return x;
+        }
+        """
+    )
+    assert len(result) == 0
+
+
+def test_uaf_through_copy():
+    result = check_uaf(
+        """
+        fn main() {
+            p = malloc();
+            q = p;
+            free(p);
+            x = *q;
+            return x;
+        }
+        """
+    )
+    assert len(result) == 1
+
+
+def test_uaf_through_memory():
+    result = check_uaf(
+        """
+        fn main() {
+            holder = malloc();
+            p = malloc();
+            *holder = p;
+            free(p);
+            q = *holder;
+            x = *q;
+            return x;
+        }
+        """
+    )
+    assert len(result) == 1
+
+
+def test_path_sensitive_fp_pruned():
+    # free and deref on contradictory branches of the same condition:
+    # the classic false positive a path-insensitive tool reports.
+    result = check_uaf(
+        """
+        fn main(c) {
+            p = malloc();
+            t = c > 0;
+            if (t) { free(p); }
+            if (!t) { x = *p; return x; }
+            return 0;
+        }
+        """
+    )
+    assert len(result) == 0
+
+
+def test_path_sensitive_tp_on_same_branch():
+    result = check_uaf(
+        """
+        fn main(c) {
+            p = malloc();
+            t = c > 0;
+            if (t) { free(p); }
+            if (t) { x = *p; return x; }
+            return 0;
+        }
+        """
+    )
+    assert len(result) == 1
+
+
+def test_path_insensitive_mode_reports_fp():
+    # Ablation: with both condition stages disabled (the linear filter
+    # alone already catches this trap as a syntactic a & !a), the
+    # contradictory-branch trap IS reported — demonstrating what path
+    # sensitivity buys.
+    config = EngineConfig(use_smt=False, use_linear_filter=False)
+    result = check_uaf(
+        """
+        fn main(c) {
+            p = malloc();
+            t = c > 0;
+            if (t) { free(p); }
+            if (!t) { x = *p; return x; }
+            return 0;
+        }
+        """,
+        config,
+    )
+    assert len(result) == 1
+
+
+# ----------------------------------------------------------------------
+# Inter-procedural use-after-free
+# ----------------------------------------------------------------------
+def test_uaf_callee_frees_param():
+    # VF3: the callee frees its parameter; the caller then dereferences.
+    result = check_uaf(
+        """
+        fn release(p) { free(p); return 0; }
+        fn main() {
+            p = malloc();
+            release(p);
+            x = *p;
+            return x;
+        }
+        """
+    )
+    assert len(result) == 1
+    report = result.reports[0]
+    assert report.source.function == "release"
+    assert report.sink.function == "main"
+
+
+def test_uaf_callee_returns_freed():
+    # VF2: the callee returns a freed pointer.
+    result = check_uaf(
+        """
+        fn make_dangling() {
+            p = malloc();
+            free(p);
+            return p;
+        }
+        fn main() {
+            q = make_dangling();
+            x = *q;
+            return x;
+        }
+        """
+    )
+    assert len(result) == 1
+    assert result.reports[0].source.function == "make_dangling"
+
+
+def test_uaf_sink_in_callee():
+    # VF4: the caller frees, the callee dereferences.
+    result = check_uaf(
+        """
+        fn deref(p) { x = *p; return x; }
+        fn main() {
+            p = malloc();
+            free(p);
+            y = deref(p);
+            return y;
+        }
+        """
+    )
+    assert len(result) == 1
+    assert result.reports[0].sink.function == "deref"
+
+
+def test_uaf_through_passthrough_callee():
+    # VF1: the value flows through an identity-like callee.
+    result = check_uaf(
+        """
+        fn identity(p) { return p; }
+        fn main() {
+            p = malloc();
+            free(p);
+            q = identity(p);
+            x = *q;
+            return x;
+        }
+        """
+    )
+    assert len(result) == 1
+
+
+def test_no_uaf_across_unrelated_pointers():
+    result = check_uaf(
+        """
+        fn main() {
+            p = malloc();
+            q = malloc();
+            free(p);
+            x = *q;
+            return x;
+        }
+        """
+    )
+    assert len(result) == 0
+
+
+def test_fig1_use_after_free():
+    """The paper's motivating example (Fig. 1): the freed pointer c in
+    bar propagates through *q back into foo's f and is dereferenced."""
+    result = check_uaf(
+        """
+        fn foo(a, t1, t2) {
+            ptr = malloc();
+            *ptr = a;
+            if (t1 > 0) {
+                bar(ptr);
+            } else {
+                qux(ptr);
+            }
+            f = *ptr;
+            if (t2 > 0) { x = *f; return x; }
+            return 0;
+        }
+
+        fn bar(q, b, t4) {
+            c = malloc();
+            t3 = *q;
+            if (t3 != 0) {
+                *q = c;
+                free(c);
+            } else {
+                if (t4 > 0) { *q = b; }
+            }
+            return 0;
+        }
+
+        fn qux(r, d, e) {
+            if (t5 > 0) { *r = d; } else { *r = e; }
+            return 0;
+        }
+        """
+    )
+    assert len(result) >= 1
+    report = result.reports[0]
+    assert report.source.function == "bar"
+    assert report.sink.function == "foo"
+
+
+def test_fig1_no_fp_through_qux():
+    """In Fig. 1, only bar's branch can deliver the freed pointer; no
+    report should point at d/e (the qux path)."""
+    result = check_uaf(
+        """
+        fn foo(a, t1, t2) {
+            ptr = malloc();
+            *ptr = a;
+            if (t1 > 0) { bar(ptr); } else { qux(ptr); }
+            f = *ptr;
+            if (t2 > 0) { x = *f; return x; }
+            return 0;
+        }
+        fn bar(q, b, t4) {
+            c = malloc();
+            t3 = *q;
+            if (t3 != 0) { *q = c; free(c); }
+            else { if (t4 > 0) { *q = b; } }
+            return 0;
+        }
+        fn qux(r, d, e) {
+            if (t5 > 0) { *r = d; } else { *r = e; }
+            return 0;
+        }
+        """
+    )
+    for report in result:
+        assert report.source.function == "bar"
+
+
+# ----------------------------------------------------------------------
+# Other checkers
+# ----------------------------------------------------------------------
+def test_double_free_detected():
+    result = Pinpoint.from_source(
+        """
+        fn main() {
+            p = malloc();
+            free(p);
+            free(p);
+            return 0;
+        }
+        """
+    ).check(DoubleFreeChecker())
+    assert len(result) == 1
+
+
+def test_single_free_not_double():
+    result = Pinpoint.from_source(
+        """
+        fn main() {
+            p = malloc();
+            q = malloc();
+            free(p);
+            free(q);
+            return 0;
+        }
+        """
+    ).check(DoubleFreeChecker())
+    assert len(result) == 0
+
+
+def test_double_free_across_functions():
+    result = Pinpoint.from_source(
+        """
+        fn cleanup(p) { free(p); return 0; }
+        fn main() {
+            p = malloc();
+            cleanup(p);
+            free(p);
+            return 0;
+        }
+        """
+    ).check(DoubleFreeChecker())
+    assert len(result) == 1
+
+
+def test_null_deref_detected():
+    result = Pinpoint.from_source(
+        """
+        fn main() {
+            p = null;
+            x = *p;
+            return x;
+        }
+        """
+    ).check(NullDereferenceChecker())
+    assert len(result) == 1
+
+
+def test_memory_leak_detected():
+    result = Pinpoint.from_source(
+        """
+        fn main() {
+            p = malloc();
+            return 0;
+        }
+        """
+    ).check(MemoryLeakChecker())
+    assert len(result) == 1
+
+
+def test_no_leak_when_freed():
+    result = Pinpoint.from_source(
+        """
+        fn main() {
+            p = malloc();
+            free(p);
+            return 0;
+        }
+        """
+    ).check(MemoryLeakChecker())
+    assert len(result) == 0
+
+
+def test_no_leak_when_returned():
+    result = Pinpoint.from_source(
+        """
+        fn make() {
+            p = malloc();
+            return p;
+        }
+        """
+    ).check(MemoryLeakChecker())
+    assert len(result) == 0
+
+
+def test_no_leak_when_callee_frees():
+    result = Pinpoint.from_source(
+        """
+        fn sink_it(p) { free(p); return 0; }
+        fn main() {
+            p = malloc();
+            sink_it(p);
+            return 0;
+        }
+        """
+    ).check(MemoryLeakChecker())
+    assert len(result) == 0
+
+
+# ----------------------------------------------------------------------
+# Statistics
+# ----------------------------------------------------------------------
+def test_stats_populated():
+    result = check_uaf(
+        """
+        fn main() {
+            p = malloc();
+            free(p);
+            x = *p;
+            return x;
+        }
+        """
+    )
+    stats = result.stats
+    assert stats.functions == 1
+    assert stats.seg_vertices > 0
+    assert stats.seg_edges > 0
+    assert stats.candidates >= 1
+    assert stats.reported == 1

@@ -1,0 +1,197 @@
+"""Differential fuzzing: Pinpoint vs exhaustive concrete execution.
+
+For loop-free, call-free programs over two integer parameters, every
+branch condition compares a parameter against a small constant, so a
+small input grid exercises every feasible path.  That makes the
+interpreter an *exhaustive* oracle:
+
+- soundness: if any probed input triggers a use-after-free at runtime,
+  Pinpoint must report at least one finding;
+- precision: if Pinpoint reports a finding, some probed input must
+  trigger a violation (no loops or calls means no soundiness excuses).
+
+Programs are generated from a small structured grammar (allocations,
+frees, copies, dereferences, guarded blocks) with seeded RNG, so every
+failure is reproducible by its seed.
+"""
+
+import random
+
+import pytest
+
+from repro import Pinpoint, UseAfterFreeChecker
+from repro.lang.interp import run_function
+from repro.lang.parser import parse_program
+
+GUARD_CONSTANTS = (0, 2)
+# Probes straddle every guard constant, so all branch combinations of
+# each parameter are reachable within the grid.
+PROBES = (-1, 0, 1, 2, 3)
+
+
+def generate_program(seed: int) -> str:
+    """A random loop-free, call-free pointer-manipulating function."""
+    rng = random.Random(seed)
+    lines = ["fn main(a, b) {"]
+    pointers = []  # live pointer variable names
+    counter = [0]
+
+    def fresh(prefix):
+        counter[0] += 1
+        return f"{prefix}{counter[0]}"
+
+    def emit_statement(indent):
+        pad = "    " * indent
+        choice = rng.random()
+        if choice < 0.30 or not pointers:
+            name = fresh("p")
+            lines.append(f"{pad}{name} = malloc();")
+            lines.append(f"{pad}*{name} = a;")
+            pointers.append(name)
+        elif choice < 0.50:
+            victim = rng.choice(pointers)
+            lines.append(f"{pad}free({victim});")
+        elif choice < 0.75:
+            victim = rng.choice(pointers)
+            name = fresh("x")
+            lines.append(f"{pad}{name} = *{victim};")
+        else:
+            original = rng.choice(pointers)
+            name = fresh("q")
+            lines.append(f"{pad}{name} = {original};")
+            pointers.append(name)
+
+    def emit_block(indent, budget, depth):
+        while budget > 0:
+            if depth < 2 and rng.random() < 0.25:
+                param = rng.choice(("a", "b"))
+                constant = rng.choice(GUARD_CONSTANTS)
+                op = rng.choice((">", "<=", "=="))
+                lines.append(
+                    "    " * indent + f"if ({param} {op} {constant}) {{"
+                )
+                inner = rng.randint(1, min(3, budget))
+                emit_block(indent + 1, inner, depth + 1)
+                lines.append("    " * indent + "}")
+                budget -= inner
+            else:
+                emit_statement(indent)
+                budget -= 1
+
+    emit_block(1, rng.randint(4, 12), 0)
+    lines.append("    return 0;")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def dynamic_uaf_exists(source: str) -> bool:
+    program = parse_program(source)
+    for a in PROBES:
+        for b in PROBES:
+            interp = run_function(program, "main", a, b, halt_on_violation=False)
+            if any(
+                v.kind in ("use-after-free", "double-free")
+                for v in interp.violations
+            ):
+                return True
+    return False
+
+
+def pinpoint_reports(source: str) -> int:
+    from repro import DoubleFreeChecker
+
+    engine = Pinpoint.from_source(source)
+    uaf = engine.check(UseAfterFreeChecker())
+    df = engine.check(DoubleFreeChecker())
+    return len(uaf) + len(df)
+
+
+@pytest.mark.parametrize("seed", range(60))
+def test_differential(seed):
+    source = generate_program(seed)
+    dynamic = dynamic_uaf_exists(source)
+    static = pinpoint_reports(source)
+    if dynamic:
+        assert static >= 1, f"UNSOUND on seed {seed}:\n{source}"
+    else:
+        assert static == 0, f"IMPRECISE on seed {seed}:\n{source}"
+
+
+# ----------------------------------------------------------------------
+# Inter-procedural variant: helpers free/deref/pass-through, still
+# loop-free, so the probe grid remains an exhaustive oracle.
+# ----------------------------------------------------------------------
+HELPERS = """
+fn h_free(v) { free(v); return 0; }
+fn h_deref(v) { y = *v; return y; }
+fn h_id(v) { return v; }
+fn h_maybe_free(v, g) { if (g > 0) { free(v); } return 0; }
+"""
+
+
+def generate_interprocedural(seed: int) -> str:
+    rng = random.Random(seed + 10_000)
+    lines = ["fn main(a, b) {"]
+    pointers = []
+    counter = [0]
+
+    def fresh(prefix):
+        counter[0] += 1
+        return f"{prefix}{counter[0]}"
+
+    def emit_statement(indent):
+        pad = "    " * indent
+        choice = rng.random()
+        if choice < 0.25 or not pointers:
+            name = fresh("p")
+            lines.append(f"{pad}{name} = malloc();")
+            lines.append(f"{pad}*{name} = a;")
+            pointers.append(name)
+            return
+        victim = rng.choice(pointers)
+        if choice < 0.40:
+            lines.append(f"{pad}h_free({victim});")
+        elif choice < 0.55:
+            name = fresh("x")
+            lines.append(f"{pad}{name} = h_deref({victim});")
+        elif choice < 0.70:
+            name = fresh("q")
+            lines.append(f"{pad}{name} = h_id({victim});")
+            pointers.append(name)
+        elif choice < 0.85:
+            param = rng.choice(("a", "b"))
+            lines.append(f"{pad}h_maybe_free({victim}, {param});")
+        else:
+            name = fresh("x")
+            lines.append(f"{pad}{name} = *{victim};")
+
+    def emit_block(indent, budget, depth):
+        while budget > 0:
+            if depth < 2 and rng.random() < 0.2:
+                param = rng.choice(("a", "b"))
+                constant = rng.choice(GUARD_CONSTANTS)
+                op = rng.choice((">", "<=", "=="))
+                lines.append("    " * indent + f"if ({param} {op} {constant}) {{")
+                inner = rng.randint(1, min(3, budget))
+                emit_block(indent + 1, inner, depth + 1)
+                lines.append("    " * indent + "}")
+                budget -= inner
+            else:
+                emit_statement(indent)
+                budget -= 1
+
+    emit_block(1, rng.randint(4, 10), 0)
+    lines.append("    return 0;")
+    lines.append("}")
+    return HELPERS + "\n".join(lines)
+
+
+@pytest.mark.parametrize("seed", range(60))
+def test_differential_interprocedural(seed):
+    source = generate_interprocedural(seed)
+    dynamic = dynamic_uaf_exists(source)
+    static = pinpoint_reports(source)
+    if dynamic:
+        assert static >= 1, f"UNSOUND on seed {seed}:\n{source}"
+    else:
+        assert static == 0, f"IMPRECISE on seed {seed}:\n{source}"

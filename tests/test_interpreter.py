@@ -1,0 +1,236 @@
+"""Unit tests for the concrete interpreter (the dynamic oracle)."""
+
+import pytest
+
+from repro.lang.interp import (
+    Interpreter,
+    InterpError,
+    MemoryError_,
+    StepLimitExceeded,
+    run_function,
+)
+from repro.lang.parser import parse_program
+
+
+def test_arithmetic():
+    interp = run_function("fn f(a, b) { return a * b + 1; }", "f", 6, 7)
+    assert not interp.violations
+
+
+def test_return_value():
+    program = parse_program("fn f(a) { return a + 1; }")
+    interp = Interpreter(program)
+    assert interp.call("f", 41) == 42
+
+
+def test_branching():
+    program = parse_program(
+        "fn f(a) { if (a > 0) { return 1; } else { return 2; } }"
+    )
+    interp = Interpreter(program)
+    assert interp.call("f", 5) == 1
+    assert interp.call("f", -5) == 2
+
+
+def test_while_loop():
+    program = parse_program(
+        "fn f(n) { i = 0; s = 0; while (i < n) { s = s + i; i = i + 1; } return s; }"
+    )
+    interp = Interpreter(program)
+    assert interp.call("f", 5) == 10
+
+
+def test_nested_calls():
+    program = parse_program(
+        """
+        fn double(x) { return x + x; }
+        fn f(a) { return double(double(a)); }
+        """
+    )
+    assert Interpreter(program).call("f", 3) == 12
+
+
+def test_heap_roundtrip():
+    program = parse_program(
+        "fn f(a) { p = malloc(); *p = a; x = *p; return x; }"
+    )
+    assert Interpreter(program).call("f", 99) == 99
+
+
+def test_double_indirection():
+    program = parse_program(
+        """
+        fn f(a) {
+            outer = malloc();
+            inner = malloc();
+            *outer = inner;
+            *inner = a;
+            x = **outer;
+            return x;
+        }
+        """
+    )
+    assert Interpreter(program).call("f", 7) == 7
+
+
+def test_store_through_double_indirection():
+    program = parse_program(
+        """
+        fn f(a) {
+            outer = malloc();
+            inner = malloc();
+            *outer = inner;
+            **outer = a;
+            x = *inner;
+            return x;
+        }
+        """
+    )
+    assert Interpreter(program).call("f", 13) == 13
+
+
+def test_use_after_free_detected():
+    interp = run_function(
+        "fn f() { p = malloc(); free(p); x = *p; return x; }", "f"
+    )
+    assert len(interp.violations) == 1
+    assert interp.violations[0].kind == "use-after-free"
+
+
+def test_double_free_detected():
+    interp = run_function(
+        "fn f() { p = malloc(); free(p); free(p); return 0; }", "f"
+    )
+    assert interp.violations
+    assert interp.violations[0].kind == "double-free"
+
+
+def test_null_deref_detected():
+    interp = run_function("fn f() { p = null; x = *p; return x; }", "f")
+    assert interp.violations
+    assert interp.violations[0].kind == "null-deref"
+
+
+def test_free_null_is_noop():
+    interp = run_function("fn f() { p = null; free(p); return 0; }", "f")
+    assert not interp.violations
+
+
+def test_clean_run_no_violations():
+    interp = run_function(
+        "fn f(a) { p = malloc(); *p = a; x = *p; free(p); return x; }", "f", 3
+    )
+    assert not interp.violations
+
+
+def test_uaf_across_functions():
+    interp = run_function(
+        """
+        fn release(p) { free(p); return 0; }
+        fn f() { p = malloc(); release(p); x = *p; return x; }
+        """,
+        "f",
+    )
+    assert interp.violations
+    assert interp.violations[0].kind == "use-after-free"
+
+
+def test_pointer_equality():
+    program = parse_program(
+        """
+        fn f() {
+            p = malloc();
+            q = p;
+            if (p == q) { return 1; }
+            return 0;
+        }
+        """
+    )
+    assert Interpreter(program).call("f") == 1
+
+
+def test_distinct_pointers_unequal():
+    program = parse_program(
+        """
+        fn f() {
+            p = malloc();
+            q = malloc();
+            if (p == q) { return 1; }
+            return 0;
+        }
+        """
+    )
+    assert Interpreter(program).call("f") == 0
+
+
+def test_pointer_never_equals_null():
+    program = parse_program(
+        "fn f() { p = malloc(); if (p == null) { return 1; } return 0; }"
+    )
+    assert Interpreter(program).call("f") == 0
+
+
+def test_taint_propagates_to_sink():
+    interp = run_function(
+        """
+        fn f() {
+            data = fgetc();
+            path = data + 10;
+            g = fopen(path);
+            return g;
+        }
+        """,
+        "f",
+    )
+    assert interp.taint_sink_hits
+    assert interp.taint_sink_hits[0].detail == "fopen"
+
+
+def test_untainted_sink_clean():
+    interp = run_function("fn f() { g = fopen(42); return g; }", "f")
+    assert not interp.taint_sink_hits
+
+
+def test_step_limit():
+    program = parse_program("fn f() { i = 0; while (i < 10) { i = i; } return i; }")
+    interp = Interpreter(program, step_limit=1000)
+    with pytest.raises(StepLimitExceeded):
+        interp.call("f")
+
+
+def test_unknown_function_raises():
+    interp = Interpreter(parse_program("fn f() { return 0; }"))
+    with pytest.raises(InterpError):
+        interp.call("nope")
+
+
+def test_external_hook():
+    program = parse_program("fn f() { v = magic(); return v + 1; }")
+    interp = Interpreter(program, external={"magic": lambda: 41})
+    assert interp.call("f") == 42
+
+
+def test_missing_arguments_default_zero():
+    program = parse_program("fn f(a, b) { return a + b; }")
+    assert Interpreter(program).call("f", 5) == 5
+
+
+def test_continue_after_violation():
+    interp = run_function(
+        """
+        fn f() {
+            p = malloc();
+            free(p);
+            x = *p;
+            q = malloc();
+            free(q);
+            free(q);
+            return 0;
+        }
+        """,
+        "f",
+        halt_on_violation=False,
+    )
+    kinds = [v.kind for v in interp.violations]
+    assert "use-after-free" in kinds
+    assert "double-free" in kinds

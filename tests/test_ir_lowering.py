@@ -1,0 +1,144 @@
+"""Unit tests for AST -> CFG lowering."""
+
+from repro.ir import cfg
+from repro.ir.lower import lower_function, lower_program
+from repro.lang.parser import parse_function, parse_program
+
+
+def lower(source: str) -> cfg.Function:
+    return lower_function(parse_function(source))
+
+
+def instrs_of_kind(function: cfg.Function, kind):
+    return [i for i in function.all_instrs() if isinstance(i, kind)]
+
+
+def test_straight_line():
+    func = lower("fn f(a) { x = a + 1; return x; }")
+    assert func.entry == "entry"
+    binops = instrs_of_kind(func, cfg.BinOp)
+    assert len(binops) == 1
+    assert binops[0].dest == "x"
+    rets = instrs_of_kind(func, cfg.Ret)
+    assert len(rets) == 1
+
+
+def test_malloc_becomes_instruction():
+    func = lower("fn f() { p = malloc(); return p; }")
+    mallocs = instrs_of_kind(func, cfg.Malloc)
+    assert len(mallocs) == 1
+    assert mallocs[0].dest == "p"
+
+
+def test_store_and_load():
+    func = lower("fn f(p, v) { *p = v; x = *p; return x; }")
+    stores = instrs_of_kind(func, cfg.Store)
+    loads = instrs_of_kind(func, cfg.Load)
+    assert len(stores) == 1 and stores[0].depth == 1
+    assert len(loads) == 1 and loads[0].depth == 1
+
+
+def test_deep_deref_collapses():
+    func = lower("fn f(p) { x = **p; return x; }")
+    loads = instrs_of_kind(func, cfg.Load)
+    assert len(loads) == 1
+    assert loads[0].depth == 2
+
+
+def test_if_creates_diamond():
+    func = lower("fn f(a) { if (a > 0) { x = 1; } else { x = 2; } return x; }")
+    branches = instrs_of_kind(func, cfg.Branch)
+    assert len(branches) == 1
+    # entry, then, else, join
+    assert len(func.blocks) == 4
+    branch_block = func.blocks["entry"]
+    assert len(branch_block.succs) == 2
+
+
+def test_if_without_else():
+    func = lower("fn f(a) { x = 0; if (a > 0) { x = 1; } return x; }")
+    branches = instrs_of_kind(func, cfg.Branch)
+    assert len(branches) == 1
+    # entry, then, join
+    assert len(func.blocks) == 3
+
+
+def test_while_creates_back_edge():
+    func = lower("fn f(n) { i = 0; while (i < n) { i = i + 1; } return i; }")
+    labels = set(func.blocks)
+    back = [
+        (label, succ)
+        for label in labels
+        for succ in func.blocks[label].succs
+        if succ.startswith("loop")
+    ]
+    assert back, "expected an edge into the loop header"
+    header = [label for label in labels if label.startswith("loop")][0]
+    assert len(func.blocks[header].preds) == 2  # entry + back edge
+
+
+def test_nested_expression_flattening():
+    func = lower("fn f(a, b) { x = (a + b) * (a - b); return x; }")
+    binops = instrs_of_kind(func, cfg.BinOp)
+    assert len(binops) == 3  # +, -, *
+    temps = {i.dest for i in binops if i.dest.startswith("%t")}
+    assert len(temps) == 2
+
+
+def test_call_lowering():
+    func = lower("fn f(p) { r = g(p, 1); h(r); return r; }")
+    calls = instrs_of_kind(func, cfg.Call)
+    assert len(calls) == 2
+    assert calls[0].dest == "r"
+    assert calls[1].dest is None
+
+
+def test_call_arg_flattening():
+    func = lower("fn f(p) { g(*p); return 0; }")
+    loads = instrs_of_kind(func, cfg.Load)
+    calls = instrs_of_kind(func, cfg.Call)
+    assert len(loads) == 1
+    assert len(calls) == 1
+    assert isinstance(calls[0].args[0], cfg.Var)
+    assert calls[0].args[0].name == loads[0].dest
+
+
+def test_single_return_normalization():
+    func = lower(
+        "fn f(a) { if (a > 0) { return 1; } else { return 2; } }"
+    )
+    rets = instrs_of_kind(func, cfg.Ret)
+    assert len(rets) == 1
+    # Both arms assign to the unified return variable.
+    assert isinstance(rets[0].value, cfg.Var)
+
+
+def test_missing_return_gets_zero():
+    func = lower("fn f(a) { x = a; }")
+    rets = instrs_of_kind(func, cfg.Ret)
+    assert len(rets) == 1
+    assert isinstance(rets[0].value, cfg.Const)
+    assert rets[0].value.value == 0
+
+
+def test_dead_code_after_return_dropped():
+    func = lower("fn f(a) { return a; }")
+    assert len(instrs_of_kind(func, cfg.Ret)) == 1
+
+
+def test_branch_condition_is_var():
+    func = lower("fn f(a) { if (a) { x = 1; } return 0; }")
+    branch = instrs_of_kind(func, cfg.Branch)[0]
+    assert isinstance(branch.cond, cfg.Var)
+
+
+def test_module_lowering():
+    module = lower_program(parse_program("fn a() { } fn b() { a(); }"))
+    assert "a" in module and "b" in module
+    assert module.instr_count() >= 3
+
+
+def test_uids_unique():
+    func = lower("fn f(a) { x = a; y = x; return y; }")
+    uids = [i.uid for i in func.all_instrs()]
+    assert len(uids) == len(set(uids))

@@ -1,0 +1,208 @@
+"""Unit tests for SSA construction, dominance, control dependence, gating."""
+
+from repro.ir import cfg
+from repro.ir.controldep import control_dependence
+from repro.ir.dominance import dominators, post_dominators, VIRTUAL_EXIT
+from repro.ir.gating import GateInfo, back_edges
+from repro.ir.lower import lower_function
+from repro.ir.ssa import base_name, to_ssa
+from repro.lang.parser import parse_function
+from repro.smt import terms as T
+
+
+def build(source: str) -> cfg.Function:
+    return to_ssa(lower_function(parse_function(source)))
+
+
+def instrs_of_kind(function: cfg.Function, kind):
+    return [i for i in function.all_instrs() if isinstance(i, kind)]
+
+
+# ----------------------------------------------------------------------
+# Dominance
+# ----------------------------------------------------------------------
+def test_dominators_diamond():
+    func = lower_function(
+        parse_function("fn f(a) { if (a > 0) { x = 1; } else { x = 2; } return x; }")
+    )
+    dom = dominators(func)
+    join = [label for label in func.blocks if label.startswith("join")][0]
+    assert dom.idom[join] == "entry"
+    assert dom.dominates("entry", join)
+    then_block = [label for label in func.blocks if label.startswith("then")][0]
+    assert not dom.dominates(then_block, join)
+    assert join in dom.frontiers[then_block]
+
+
+def test_post_dominators_diamond():
+    func = lower_function(
+        parse_function("fn f(a) { if (a > 0) { x = 1; } else { x = 2; } return x; }")
+    )
+    pdom = post_dominators(func)
+    join = [label for label in func.blocks if label.startswith("join")][0]
+    assert pdom.idom["entry"] == join
+    assert pdom.idom[join] == VIRTUAL_EXIT
+
+
+# ----------------------------------------------------------------------
+# SSA form
+# ----------------------------------------------------------------------
+def test_ssa_single_assignment():
+    func = build("fn f(a) { x = a; x = x + 1; x = x + 2; return x; }")
+    defs = {}
+    for instr in func.all_instrs():
+        dest = instr.defined_var()
+        if dest is not None:
+            assert dest not in defs, f"{dest} defined twice"
+            defs[dest] = instr
+    assert any(base_name(d) == "x" for d in defs)
+
+
+def test_ssa_params_versioned():
+    func = build("fn f(a, b) { return a; }")
+    assert func.params == ["a.0", "b.0"]
+
+
+def test_ssa_phi_at_join():
+    func = build("fn f(a) { if (a > 0) { x = 1; } else { x = 2; } return x; }")
+    phis = instrs_of_kind(func, cfg.Phi)
+    x_phis = [p for p in phis if base_name(p.dest) == "x"]
+    assert len(x_phis) == 1
+    operands = {op.name for _, op in x_phis[0].incomings}
+    assert len(operands) == 2
+
+
+def test_ssa_phi_at_loop_header():
+    func = build("fn f(n) { i = 0; while (i < n) { i = i + 1; } return i; }")
+    phis = instrs_of_kind(func, cfg.Phi)
+    i_phis = [p for p in phis if base_name(p.dest) == "i"]
+    assert i_phis, "loop variable needs a header phi"
+
+
+def test_ssa_uses_renamed():
+    func = build("fn f(a) { x = a; y = x; return y; }")
+    for instr in func.all_instrs():
+        for name in instr.used_vars():
+            assert "." in name, f"unrenamed use {name}"
+
+
+def test_ssa_dead_phi_pruned():
+    # x is dead after the if; its phi should be pruned.
+    func = build("fn f(a) { x = 0; if (a > 0) { x = 1; } return a; }")
+    phis = instrs_of_kind(func, cfg.Phi)
+    assert all(base_name(p.dest) != "x" for p in phis)
+
+
+def test_ssa_idempotent():
+    func = build("fn f(a) { return a; }")
+    again = to_ssa(func)
+    assert again is func
+
+
+def test_base_name():
+    assert base_name("x.3") == "x"
+    assert base_name("%t1.0") == "%t1"
+    assert base_name("plain") == "plain"
+
+
+# ----------------------------------------------------------------------
+# Control dependence
+# ----------------------------------------------------------------------
+def test_control_dependence_if():
+    func = build("fn f(a) { if (a > 0) { x = 1; } else { x = 2; } return x; }")
+    deps = control_dependence(func)
+    then_block = [label for label in func.blocks if label.startswith("then")][0]
+    else_block = [label for label in func.blocks if label.startswith("else")][0]
+    join = [label for label in func.blocks if label.startswith("join")][0]
+    assert ("entry", True) in deps[then_block]
+    assert ("entry", False) in deps[else_block]
+    assert deps[join] == []  # join always executes
+
+
+def test_control_dependence_nested():
+    func = build(
+        """
+        fn f(a, b) {
+            if (a > 0) {
+                if (b > 0) { x = 1; } else { x = 2; }
+            }
+            return 0;
+        }
+        """
+    )
+    deps = control_dependence(func)
+    # Control dependence is direct (Ferrante et al.): the inner then-block
+    # depends on the inner branch only; the chain to the outer branch is
+    # recovered by the recursive CD() expansion (paper Example 3.5).
+    inner_branch = [label for label in func.blocks if label.startswith("then")][0]
+    inner_then = [label for label in func.blocks if label.startswith("then")][1]
+    assert deps[inner_then] == [(inner_branch, True)]
+    assert deps[inner_branch] == [("entry", True)]
+
+
+def test_control_dependence_loop_body():
+    func = build("fn f(n) { i = 0; while (i < n) { i = i + 1; } return i; }")
+    deps = control_dependence(func)
+    body = [label for label in func.blocks if label.startswith("body")][0]
+    header = [label for label in func.blocks if label.startswith("loop")][0]
+    assert any(block == header and taken for block, taken in deps[body])
+
+
+# ----------------------------------------------------------------------
+# Gating
+# ----------------------------------------------------------------------
+def test_gates_for_diamond_phi():
+    func = build("fn f(a) { if (a > 0) { x = 1; } else { x = 2; } return x; }")
+    gates = GateInfo(func)
+    phi = instrs_of_kind(func, cfg.Phi)[0]
+    conds = gates.gates[phi.uid]
+    assert len(conds) == 2
+    # One gate is the branch variable, the other its negation.
+    assert conds[0] is T.not_(conds[1]) or conds[1] is T.not_(conds[0])
+
+
+def test_gates_if_without_else():
+    func = build("fn f(a) { x = 0; if (a > 0) { x = 1; } return x; }")
+    gates = GateInfo(func)
+    phi = [p for p in instrs_of_kind(func, cfg.Phi) if base_name(p.dest) == "x"][0]
+    conds = gates.gates[phi.uid]
+    assert len(conds) == 2
+    assert conds[0] is T.not_(conds[1]) or conds[1] is T.not_(conds[0])
+
+
+def test_gates_loop_header_unconstrained():
+    func = build("fn f(n) { i = 0; while (i < n) { i = i + 1; } return i; }")
+    gates = GateInfo(func)
+    phi = [p for p in instrs_of_kind(func, cfg.Phi) if base_name(p.dest) == "i"][0]
+    conds = gates.gates[phi.uid]
+    kinds = sorted(c.kind for c in conds)
+    # One operand comes from entry (condition true), the back-edge one gets
+    # a fresh loop selector variable.
+    assert "bvar" in kinds
+
+
+def test_back_edges_detected():
+    func = build("fn f(n) { i = 0; while (i < n) { i = i + 1; } return i; }")
+    edges = back_edges(func)
+    assert len(edges) == 1
+    (src, dst), = edges
+    assert dst.startswith("loop")
+
+
+def test_gates_nested_diamond():
+    func = build(
+        """
+        fn f(a, b) {
+            if (a > 0) {
+                if (b > 0) { x = 1; } else { x = 2; }
+            } else { x = 3; }
+            return x;
+        }
+        """
+    )
+    gates = GateInfo(func)
+    phis = instrs_of_kind(func, cfg.Phi)
+    outer = [p for p in phis if len(p.incomings) == 2 and base_name(p.dest) == "x"]
+    assert phis
+    for phi in phis:
+        assert len(gates.gates[phi.uid]) == len(phi.incomings)

@@ -1,0 +1,82 @@
+"""Performance regression guards.
+
+Generous wall-clock bounds that only trip on order-of-magnitude
+regressions (an accidental quadratic loop, a lost memo table), not on
+machine noise.
+"""
+
+import time
+
+import pytest
+
+from repro import Pinpoint, UseAfterFreeChecker
+from repro.synth.generator import GeneratorConfig, generate_program
+
+
+def test_thousand_line_program_under_budget():
+    program = generate_program(GeneratorConfig(seed=99, target_lines=1000))
+    start = time.perf_counter()
+    engine = Pinpoint.from_source(program.source)
+    engine.check(UseAfterFreeChecker())
+    elapsed = time.perf_counter() - start
+    # Typically ~0.5 s; 30 s only trips on a complexity regression.
+    assert elapsed < 30, f"1k-line analysis took {elapsed:.1f}s"
+
+
+def test_term_factory_shares_subterms():
+    from repro.smt import terms as T
+
+    before = T.FACTORY.size()
+    a = T.bool_var("perf_a")
+    parts = [T.or_(a, T.bool_var(f"perf_{i}")) for i in range(100)]
+    first = T.and_(*parts)
+    second = T.and_(*parts)
+    assert first is second
+    created = T.FACTORY.size() - before
+    # 1 var + 100 vars + 100 ors + 1 and, plus the negations the
+    # complement checks materialize (~2 per or).  Order-of-magnitude
+    # guard: sharing failure would create thousands.
+    assert created < 600
+
+
+def test_deep_negation_linear():
+    # Regression guard for the De Morgan memo: negating a deep nest must
+    # not be exponential.
+    from repro.smt import terms as T
+
+    term = T.bool_var("z0")
+    for i in range(200):
+        term = T.or_(T.and_(term, T.bool_var(f"zg{i}")), T.bool_var(f"zh{i}"))
+    start = time.perf_counter()
+    negated = T.not_(term)
+    assert T.not_(negated) is term
+    assert time.perf_counter() - start < 5
+
+
+def test_linear_solver_scales_with_sharing():
+    from repro.smt import terms as T
+    from repro.smt.linear_solver import LinearSolver
+
+    base = T.and_(*[T.bool_var(f"ls{i}") for i in range(200)])
+    solver = LinearSolver()
+    start = time.perf_counter()
+    for i in range(200):
+        solver.is_obviously_unsat(T.and_(base, T.bool_var(f"extra{i}")))
+    assert time.perf_counter() - start < 5
+
+
+def test_happens_after_reachability_cached():
+    source_lines = ["fn f(a) {"]
+    for i in range(50):
+        source_lines.append(f"    if (a > {i}) {{ a = a + 1; }}")
+    source_lines.append("    p = malloc();")
+    source_lines.append("    free(p);")
+    source_lines.append("    x = *p;")
+    source_lines.append("    return x;")
+    source_lines.append("}")
+    start = time.perf_counter()
+    result = Pinpoint.from_source("\n".join(source_lines)).check(
+        UseAfterFreeChecker()
+    )
+    assert len(result) == 1
+    assert time.perf_counter() - start < 20

@@ -1,0 +1,121 @@
+"""Round-trip tests for the pretty-printer."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty_program
+from repro.synth.generator import GeneratorConfig, generate_program
+from repro.synth.juliet import generate_juliet_suite, suite_source
+
+
+def _normalize(node):
+    """Structural view of an AST ignoring line numbers."""
+    if isinstance(node, ast.Program):
+        return ("program", tuple(_normalize(f) for f in node.functions))
+    if isinstance(node, ast.FuncDef):
+        return ("fn", node.name, tuple(node.params), _normalize(node.body))
+    if isinstance(node, ast.Block):
+        return ("block", tuple(_normalize(s) for s in node.stmts))
+    if isinstance(node, ast.AssignStmt):
+        return ("assign", node.target, _normalize(node.value))
+    if isinstance(node, ast.StoreStmt):
+        return ("store", node.depth, _normalize(node.pointer), _normalize(node.value))
+    if isinstance(node, ast.IfStmt):
+        return (
+            "if",
+            _normalize(node.cond),
+            _normalize(node.then_block),
+            _normalize(node.else_block) if node.else_block else None,
+        )
+    if isinstance(node, ast.WhileStmt):
+        return ("while", _normalize(node.cond), _normalize(node.body))
+    if isinstance(node, ast.ReturnStmt):
+        return ("return", _normalize(node.value) if node.value else None)
+    if isinstance(node, ast.ExprStmt):
+        return ("expr", _normalize(node.expr))
+    if isinstance(node, ast.Name):
+        return ("name", node.ident)
+    if isinstance(node, ast.Num):
+        return ("num", node.value)
+    if isinstance(node, ast.Unary):
+        return ("unary", node.op, _normalize(node.operand))
+    if isinstance(node, ast.Binary):
+        return ("binary", node.op, _normalize(node.lhs), _normalize(node.rhs))
+    if isinstance(node, ast.Call):
+        return ("call", node.callee, tuple(_normalize(a) for a in node.args))
+    raise AssertionError(f"unknown node {node!r}")
+
+
+def roundtrip(source: str):
+    first = parse_program(source)
+    printed = pretty_program(first)
+    second = parse_program(printed)
+    assert _normalize(first) == _normalize(second), printed
+    return printed
+
+
+def test_roundtrip_simple():
+    roundtrip("fn f(a) { x = a + 1; return x; }")
+
+
+def test_roundtrip_stores_loads():
+    roundtrip("fn f(p, v) { *p = v; **p = v; x = **p; return x; }")
+
+
+def test_roundtrip_control_flow():
+    roundtrip(
+        """
+        fn f(a, b) {
+            if (a > 0) {
+                if (b > 0) { x = 1; } else { x = 2; }
+            } else {
+                x = 3;
+            }
+            while (x < 10) { x = x + 1; }
+            return x;
+        }
+        """
+    )
+
+
+def test_roundtrip_calls():
+    roundtrip(
+        """
+        fn g(a, b) { return a; }
+        fn f(p) { free(p); r = g(p, 1 + 2); return r; }
+        """
+    )
+
+
+def test_roundtrip_operators():
+    roundtrip(
+        "fn f(a, b) { x = a * b + a / b - a % b; y = !x && a || b; return y; }"
+    )
+
+
+def test_roundtrip_unary():
+    roundtrip("fn f(a) { x = -a; y = !a; z = *a; return z; }")
+
+
+def test_roundtrip_precedence_preserved():
+    # The printer parenthesizes everything, so re-parsing preserves the
+    # original grouping even against precedence.
+    printed = roundtrip("fn f(a, b) { x = (a + b) * 2; return x; }")
+    assert "(a + b)" in printed.replace("((", "(").replace("))", ")")
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+def test_roundtrip_generated_programs(seed):
+    program = generate_program(GeneratorConfig(seed=seed, target_lines=300))
+    roundtrip(program.source)
+
+
+def test_roundtrip_juliet_suite():
+    roundtrip(suite_source(generate_juliet_suite()))
+
+
+def test_pretty_output_is_formatted():
+    printed = pretty_program(parse_program("fn f(a) { if (a) { x = 1; } return 0; }"))
+    assert "    if" in printed  # indented
+    assert printed.endswith("}\n")

@@ -1,0 +1,259 @@
+"""Edge-case tests for the local points-to analysis and Mod/Ref."""
+
+from repro.core.pipeline import prepare_source
+from repro.ir import cfg
+from repro.ir.lower import lower_function
+from repro.ir.ssa import base_name, to_ssa
+from repro.lang.parser import parse_function
+from repro.pta.intraproc import MAX_AUX_DEPTH, PointsToAnalysis
+from repro.pta.memory import (
+    AuxObject,
+    aux_param_name,
+    aux_return_name,
+    parse_aux_param,
+)
+from repro.smt import terms as T
+
+
+def analyze(source: str):
+    func = to_ssa(lower_function(parse_function(source)))
+    analysis = PointsToAnalysis(func)
+    return func, analysis.run()
+
+
+def find_load(func, dest_base):
+    for instr in func.all_instrs():
+        if isinstance(instr, cfg.Load) and base_name(instr.dest) == dest_base:
+            return instr
+    raise AssertionError(f"no load defining {dest_base}")
+
+
+# ----------------------------------------------------------------------
+# Aux naming helpers
+# ----------------------------------------------------------------------
+def test_aux_name_roundtrip():
+    assert parse_aux_param(aux_param_name("q", 2)) == ("q", 2)
+    assert parse_aux_param(aux_param_name("q", 2) + ".0") == ("q", 2)
+    assert parse_aux_param("ordinary") is None
+    assert parse_aux_param(aux_return_name("q", 1)) is None
+
+
+def test_aux_object_identity():
+    a = AuxObject("f", "q", 1)
+    b = AuxObject("f", "q", 1)
+    c = AuxObject("f", "q", 2)
+    d = AuxObject("g", "q", 1)
+    assert a == b and hash(a) == hash(b)
+    assert a != c and a != d
+
+
+# ----------------------------------------------------------------------
+# Depth limits and deep chains
+# ----------------------------------------------------------------------
+def test_aux_depth_capped():
+    stars = "*" * (MAX_AUX_DEPTH + 2)
+    func, result = analyze(f"fn f(q) {{ x = {stars}q; return x; }}")
+    depths = [depth for _, depth in result.ref]
+    assert depths and max(depths) <= MAX_AUX_DEPTH + 1
+
+
+def test_three_level_local_chain():
+    func, result = analyze(
+        """
+        fn f(a) {
+            l1 = malloc();
+            l2 = malloc();
+            l3 = malloc();
+            *l1 = l2;
+            *l2 = l3;
+            *l3 = a;
+            x = ***l1;
+            return x;
+        }
+        """
+    )
+    load = find_load(func, "x")
+    values = result.load_values[load.uid]
+    assert any(
+        isinstance(v, cfg.Var) and base_name(v.name) == "a" for v, _ in values
+    )
+
+
+# ----------------------------------------------------------------------
+# Conditional aliasing and kills
+# ----------------------------------------------------------------------
+def test_store_through_conditional_alias_weak():
+    func, result = analyze(
+        """
+        fn f(a, b, c) {
+            p = malloc();
+            q = malloc();
+            *p = a;
+            if (c > 0) { r = p; } else { r = q; }
+            *r = b;
+            x = *p;
+            return x;
+        }
+        """
+    )
+    load = find_load(func, "x")
+    names = {
+        base_name(v.name) for v, _ in result.load_values[load.uid]
+        if isinstance(v, cfg.Var)
+    }
+    # Weak update: both the original a and the conditional b are visible.
+    assert "a" in names and "b" in names
+
+
+def test_second_strong_update_after_branch_kills_everything():
+    func, result = analyze(
+        """
+        fn f(a, b, c) {
+            p = malloc();
+            if (c > 0) { *p = a; } else { *p = b; }
+            *p = 0;
+            x = *p;
+            return x;
+        }
+        """
+    )
+    load = find_load(func, "x")
+    values = result.load_values[load.uid]
+    assert len(values) == 1
+    assert isinstance(values[0][0], cfg.Const)
+
+
+def test_nested_branch_conditions_compose():
+    func, result = analyze(
+        """
+        fn f(a, b, c, d) {
+            p = malloc();
+            if (c > 0) {
+                if (d > 0) { *p = a; } else { *p = b; }
+            }
+            x = *p;
+            return x;
+        }
+        """
+    )
+    load = find_load(func, "x")
+    values = {
+        base_name(v.name): cond
+        for v, cond in result.load_values[load.uid]
+        if isinstance(v, cfg.Var)
+    }
+    assert set(values) == {"a", "b"}
+    # The two conditions are mutually exclusive: their conjunction is an
+    # obvious contradiction.
+    from repro.smt.linear_solver import LinearSolver
+
+    assert LinearSolver().is_obviously_unsat(T.and_(values["a"], values["b"]))
+
+
+# ----------------------------------------------------------------------
+# Mod/Ref closures through the pipeline
+# ----------------------------------------------------------------------
+def test_modref_propagates_through_call_chain():
+    prepared = prepare_source(
+        """
+        fn write_leaf(q, v) { *q = v; return 0; }
+        fn write_mid(q, v) { write_leaf(q, v); return 0; }
+        fn write_top(q, v) { write_mid(q, v); return 0; }
+        """
+    )
+    # The side effect surfaces transitively at every level.
+    for name in ("write_leaf", "write_mid", "write_top"):
+        assert ("q", 1) in prepared[name].signature.aux_returns, name
+
+
+def test_ref_propagates_through_call_chain():
+    prepared = prepare_source(
+        """
+        fn read_leaf(q) { x = *q; return x; }
+        fn read_top(q) { r = read_leaf(q); return r; }
+        """
+    )
+    assert ("q", 1) in prepared["read_leaf"].signature.aux_params
+    assert ("q", 1) in prepared["read_top"].signature.aux_params
+
+
+def test_unused_param_no_connectors():
+    prepared = prepare_source("fn f(p, q) { x = *p; return x; }")
+    signature = prepared["f"].signature
+    assert all(param != "q" for param, _ in signature.aux_params)
+
+
+def test_local_only_memory_no_connectors():
+    prepared = prepare_source(
+        "fn f(a) { p = malloc(); *p = a; x = *p; return x; }"
+    )
+    assert prepared["f"].signature.aux_params == []
+    assert prepared["f"].signature.aux_returns == []
+
+
+def test_param_passed_to_callee_which_writes_depth2():
+    prepared = prepare_source(
+        """
+        fn deep_write(h, v) { q = *h; *q = v; return 0; }
+        fn top(h, v) { deep_write(h, v); return 0; }
+        """
+    )
+    assert ("h", 2) in prepared["deep_write"].signature.aux_returns
+    assert ("h", 2) in prepared["top"].signature.aux_returns
+
+
+# ----------------------------------------------------------------------
+# Alias-hazard diagnostics (the paper's §4.2 no-alias assumption)
+# ----------------------------------------------------------------------
+def test_alias_hazard_same_pointer_twice():
+    prepared = prepare_source(
+        """
+        fn swap(a, b) { t = *a; *a = *b; *b = t; return 0; }
+        fn main() {
+            p = malloc();
+            swap(p, p);
+            return 0;
+        }
+        """
+    )
+    assert prepared["main"].alias_hazards
+
+
+def test_alias_hazard_through_copy():
+    prepared = prepare_source(
+        """
+        fn pair(a, b) { x = *a; y = *b; return x + y; }
+        fn main() {
+            p = malloc();
+            q = p;
+            r = pair(p, q);
+            return r;
+        }
+        """
+    )
+    assert prepared["main"].alias_hazards
+
+
+def test_no_hazard_for_distinct_objects():
+    prepared = prepare_source(
+        """
+        fn pair(a, b) { x = *a; y = *b; return x + y; }
+        fn main() {
+            p = malloc();
+            q = malloc();
+            r = pair(p, q);
+            return r;
+        }
+        """
+    )
+    assert prepared["main"].alias_hazards == []
+
+
+def test_no_hazard_for_integer_args():
+    prepared = prepare_source(
+        """
+        fn add(a, b) { return a + b; }
+        fn main(x) { r = add(x, x); return r; }
+        """
+    )
+    assert prepared["main"].alias_hazards == []

@@ -1,0 +1,148 @@
+"""Tests for the ad-hoc value-flow query API."""
+
+import pytest
+
+from repro import Pinpoint
+from repro.core.query import ValueFlowQuery
+
+APP = """
+fn load_config() {
+    raw = read_input();
+    return raw;
+}
+
+fn run_command(cmd) {
+    execute(cmd);
+    return 0;
+}
+
+fn main(n) {
+    cfg = load_config();
+    cmd = cfg + n;
+    run_command(cmd);
+
+    safe = 42;
+    execute(safe);
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return Pinpoint.from_source(APP)
+
+
+def test_query_finds_flow(engine):
+    flows = (
+        ValueFlowQuery("config-to-exec")
+        .values_returned_by("read_input")
+        .reaching_arguments_of("execute")
+        .through_operators()
+        .run(engine)
+    )
+    assert len(flows) == 1
+    assert flows[0].sink.function == "run_command"
+
+
+def test_query_without_operator_traversal_misses_arith_flow(engine):
+    flows = (
+        ValueFlowQuery()
+        .values_returned_by("read_input")
+        .reaching_arguments_of("execute")
+        .run(engine)
+    )
+    # cmd = cfg + n breaks pure value identity.
+    assert flows == []
+
+
+def test_query_constant_not_flagged(engine):
+    flows = (
+        ValueFlowQuery()
+        .values_returned_by("read_input")
+        .reaching_arguments_of("execute")
+        .through_operators()
+        .run(engine)
+    )
+    assert all(r.source.function == "load_config" for r in flows)
+
+
+def test_query_values_passed_to():
+    engine = Pinpoint.from_source(
+        """
+        fn main() {
+            p = malloc();
+            retire(p);
+            x = *p;
+            return x;
+        }
+        """
+    )
+    flows = (
+        ValueFlowQuery("retired-then-used")
+        .values_passed_to("retire")
+        .reaching_dereferences()
+        .run(engine)
+    )
+    assert len(flows) == 1
+
+
+def test_query_null_literals():
+    engine = Pinpoint.from_source(
+        "fn main() { p = null; x = *p; return x; }"
+    )
+    flows = (
+        ValueFlowQuery().null_literals().reaching_dereferences().run(engine)
+    )
+    assert len(flows) == 1
+
+
+def test_query_allocations_to_callee():
+    engine = Pinpoint.from_source(
+        """
+        fn main() {
+            p = malloc();
+            register_obj(p);
+            return 0;
+        }
+        """
+    )
+    flows = (
+        ValueFlowQuery()
+        .allocations()
+        .reaching_arguments_of("register_obj")
+        .run(engine)
+    )
+    assert len(flows) == 1
+
+
+def test_query_requires_sources(engine):
+    with pytest.raises(ValueError):
+        ValueFlowQuery().reaching_dereferences().run(engine)
+
+
+def test_query_requires_sinks(engine):
+    with pytest.raises(ValueError):
+        ValueFlowQuery().allocations().run(engine)
+
+
+def test_query_is_path_sensitive():
+    engine = Pinpoint.from_source(
+        """
+        fn main(c) {
+            v = read_input();
+            t = c > 0;
+            if (t)  { payload = v; }
+            else    { payload = 0; }
+            if (!t) { execute(payload); }
+            return 0;
+        }
+        """
+    )
+    flows = (
+        ValueFlowQuery()
+        .values_returned_by("read_input")
+        .reaching_arguments_of("execute")
+        .run(engine)
+    )
+    assert flows == []  # the tainted value only exists on the other branch

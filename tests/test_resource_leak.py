@@ -1,0 +1,98 @@
+"""Tests for the resource-leak checker."""
+
+from repro import Pinpoint, ResourceLeakChecker
+
+
+def check(source: str):
+    return Pinpoint.from_source(source).check(ResourceLeakChecker())
+
+
+def test_unclosed_file_reported():
+    result = check(
+        """
+        fn main(name) {
+            f = fopen(name);
+            return 0;
+        }
+        """
+    )
+    assert len(result) == 1
+
+
+def test_closed_file_clean():
+    result = check(
+        """
+        fn main(name) {
+            f = fopen(name);
+            fclose(f);
+            return 0;
+        }
+        """
+    )
+    assert len(result) == 0
+
+
+def test_returned_handle_escapes():
+    result = check(
+        """
+        fn open_it(name) {
+            f = fopen(name);
+            return f;
+        }
+        """
+    )
+    assert len(result) == 0
+
+
+def test_handle_closed_by_callee():
+    result = check(
+        """
+        fn closer(f) { fclose(f); return 0; }
+        fn main(name) {
+            f = fopen(name);
+            closer(f);
+            return 0;
+        }
+        """
+    )
+    assert len(result) == 0
+
+
+def test_handle_passed_to_unknown_callee_escapes():
+    result = check(
+        """
+        fn main(name) {
+            f = fopen(name);
+            register_handle(f);
+            return 0;
+        }
+        """
+    )
+    assert len(result) == 0
+
+
+def test_socket_leak_reported():
+    result = check(
+        """
+        fn main() {
+            s = socket();
+            t = socket();
+            close(s);
+            return 0;
+        }
+        """
+    )
+    assert len(result) == 1  # only t leaks
+
+
+def test_handle_stored_into_param_escapes():
+    result = check(
+        """
+        fn stash(slot, name) {
+            f = fopen(name);
+            *slot = f;
+            return 0;
+        }
+        """
+    )
+    assert len(result) == 0

@@ -1,0 +1,152 @@
+"""Robustness: odd-but-legal inputs, and fuzzing the parser."""
+
+import random
+
+import pytest
+
+from repro import Pinpoint, UseAfterFreeChecker
+from repro.lang.parser import ParseError, parse_program
+
+
+def check_uaf(source: str):
+    return Pinpoint.from_source(source).check(UseAfterFreeChecker())
+
+
+# ----------------------------------------------------------------------
+# Odd-but-legal programs
+# ----------------------------------------------------------------------
+def test_empty_function_body():
+    assert len(check_uaf("fn f() { }")) == 0
+
+
+def test_self_assignment():
+    assert len(check_uaf("fn f(a) { a = a; return a; }")) == 0
+
+
+def test_unused_parameters():
+    assert len(check_uaf("fn f(a, b, c, d, e) { return 0; }")) == 0
+
+
+def test_shadowing_reassignment_chains():
+    result = check_uaf(
+        """
+        fn f() {
+            p = malloc();
+            p = malloc();
+            p = malloc();
+            free(p);
+            x = *p;
+            return x;
+        }
+        """
+    )
+    # Only the LAST allocation is freed and dereferenced.
+    assert len(result) == 1
+
+
+def test_free_of_fresh_malloc_result_expression():
+    # free(malloc()) — pointless but legal.
+    assert len(check_uaf("fn f() { free(malloc()); return 0; }")) == 0
+
+
+def test_deeply_nested_branches():
+    inner = "x = *p;"
+    for i in range(12):
+        inner = f"if (a > {i}) {{ {inner} }}"
+    source = f"fn f(a) {{ p = malloc(); free(p); {inner} return 0; }}"
+    result = check_uaf(source)
+    assert len(result) == 1
+
+
+def test_long_straightline_function():
+    lines = ["fn f(a) {", "    acc = a;"]
+    for i in range(300):
+        lines.append(f"    acc = acc + {i};")
+    lines.append("    return acc;")
+    lines.append("}")
+    assert len(check_uaf("\n".join(lines))) == 0
+
+
+def test_many_small_functions():
+    parts = [f"fn f{i}(a) {{ return a + {i}; }}" for i in range(150)]
+    parts.append("fn main() { r = f0(1); return r; }")
+    assert len(check_uaf("\n".join(parts))) == 0
+
+
+def test_wide_call_fanout():
+    parts = ["fn sink_it(p) { x = *p; return x; }"]
+    body = ["fn main() {", "    p = malloc();", "    free(p);"]
+    for i in range(30):
+        body.append("    sink_it(p);")
+    body.append("    return 0;")
+    body.append("}")
+    result = check_uaf("\n".join(parts + body))
+    assert len(result) >= 1
+
+
+def test_chained_else_if_ladder():
+    ladder = "if (a == 0) { x = 0; }"
+    for i in range(1, 10):
+        ladder += f" else if (a == {i}) {{ x = {i}; }}"
+    source = f"fn f(a) {{ {ladder} return 0; }}"
+    assert len(check_uaf(source)) == 0
+
+
+def test_while_inside_while():
+    source = """
+    fn f(n, m) {
+        i = 0;
+        total = 0;
+        while (i < n) {
+            j = 0;
+            while (j < m) {
+                total = total + 1;
+                j = j + 1;
+            }
+            i = i + 1;
+        }
+        return total;
+    }
+    """
+    assert len(check_uaf(source)) == 0
+
+
+# ----------------------------------------------------------------------
+# Parser fuzzing: random garbage must raise ParseError, never crash
+# ----------------------------------------------------------------------
+TOKENS = [
+    "fn", "if", "else", "while", "return", "free", "malloc",
+    "{", "}", "(", ")", ";", ",", "=", "*", "+", "-", "!",
+    "x", "y", "p", "42", "==", "<", "&&",
+]
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_parser_fuzz_no_crash(seed):
+    rng = random.Random(seed)
+    soup = " ".join(rng.choice(TOKENS) for _ in range(rng.randint(5, 80)))
+    try:
+        parse_program(soup)
+    except ParseError:
+        pass  # expected for garbage
+    # Any other exception is a parser bug and fails the test.
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_mutated_valid_program_no_crash(seed):
+    base = "fn f(a) { p = malloc(); *p = a; x = *p; free(p); return x; }"
+    rng = random.Random(seed)
+    chars = list(base)
+    for _ in range(3):
+        pos = rng.randrange(len(chars))
+        chars[pos] = rng.choice("abc;(){}=*! ")
+    mutated = "".join(chars)
+    try:
+        program = parse_program(mutated)
+    except ParseError:
+        return
+    # If it still parses, the whole pipeline must hold up.
+    try:
+        Pinpoint.from_program(program).check(UseAfterFreeChecker())
+    except Exception as error:  # pragma: no cover - failure reporting
+        pytest.fail(f"pipeline crashed on mutated input: {error}\n{mutated}")

@@ -1,0 +1,99 @@
+"""Tests for the SARIF export."""
+
+import json
+
+import pytest
+
+from repro import Pinpoint, UseAfterFreeChecker, DoubleFreeChecker
+from repro.core.sarif import SARIF_VERSION, to_sarif, to_sarif_json
+
+UAF = """
+fn release(p) { free(p); return 0; }
+fn main(c) {
+    p = malloc();
+    t = c > 0;
+    if (t) { release(p); }
+    if (t) { x = *p; return x; }
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def results():
+    engine = Pinpoint.from_source(UAF)
+    return [
+        engine.check(UseAfterFreeChecker()),
+        engine.check(DoubleFreeChecker()),
+    ]
+
+
+def test_sarif_top_level_structure(results):
+    log = to_sarif(results, "uaf.pin")
+    assert log["version"] == SARIF_VERSION
+    assert "$schema" in log
+    assert len(log["runs"]) == 2
+
+
+def test_sarif_run_tool_metadata(results):
+    run = to_sarif(results, "uaf.pin")["runs"][0]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-pinpoint"
+    assert driver["rules"][0]["id"] == "use-after-free"
+
+
+def test_sarif_result_fields(results):
+    run = to_sarif(results, "uaf.pin")["runs"][0]
+    assert len(run["results"]) == 1
+    result = run["results"][0]
+    assert result["ruleId"] == "use-after-free"
+    assert result["level"] == "error"
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == "uaf.pin"
+    assert location["region"]["startLine"] >= 1
+    # The source of the flow is a related location.
+    related = result["relatedLocations"][0]["logicalLocations"][0]["name"]
+    assert related == "release"
+
+
+def test_sarif_code_flow_present(results):
+    result = to_sarif(results, "uaf.pin")["runs"][0]["results"][0]
+    flow = result["codeFlows"][0]["threadFlows"][0]["locations"]
+    assert len(flow) >= 1
+
+
+def test_sarif_properties_carry_condition_and_witness(results):
+    result = to_sarif(results, "uaf.pin")["runs"][0]["results"][0]
+    props = result["properties"]
+    assert "pathCondition" in props
+    assert props["verdict"] == "sat"
+    assert "feasibleWhen" in props  # the c > 0 witness
+
+
+def test_sarif_stats_attached(results):
+    run = to_sarif(results, "uaf.pin")["runs"][0]
+    assert run["properties"]["stats"]["functions"] == 2
+
+
+def test_sarif_json_parses(results):
+    text = to_sarif_json(results, "uaf.pin")
+    parsed = json.loads(text)
+    assert parsed["version"] == SARIF_VERSION
+
+
+def test_sarif_empty_results():
+    engine = Pinpoint.from_source("fn main() { return 0; }")
+    log = to_sarif([engine.check(UseAfterFreeChecker())])
+    assert log["runs"][0]["results"] == []
+
+
+def test_cli_sarif_flag(tmp_path, capsys):
+    from repro.cli import main
+
+    path = tmp_path / "p.pin"
+    path.write_text(UAF)
+    code = main(["check", str(path), "--sarif"])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == SARIF_VERSION
+    assert payload["runs"][0]["results"]

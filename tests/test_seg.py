@@ -1,0 +1,250 @@
+"""Unit tests for SEG construction and DD/CD/PC condition queries."""
+
+from repro.core.pipeline import prepare_source
+from repro.ir import cfg
+from repro.ir.ssa import base_name
+from repro.seg.builder import build_seg
+from repro.seg.conditions import ConditionBuilder
+from repro.seg.graph import def_key, use_key, vertex_var
+from repro.smt import terms as T
+from repro.smt.solver import Result, SMTSolver
+
+
+def prepare_one(source: str, name: str):
+    prepared = prepare_source(source)
+    func = prepared[name]
+    seg = build_seg(func)
+    return func, seg, ConditionBuilder(seg, func.function)
+
+
+def find_instr(func, kind, predicate=lambda i: True):
+    for instr in func.function.all_instrs():
+        if isinstance(instr, kind) and predicate(instr):
+            return instr
+    raise AssertionError(f"no {kind.__name__} found")
+
+
+def ssa_var(func, base):
+    for instr in func.function.all_instrs():
+        dest = instr.defined_var()
+        if dest is not None and base_name(dest) == base:
+            return dest
+    raise AssertionError(f"no def of {base}")
+
+
+# ----------------------------------------------------------------------
+# Graph structure
+# ----------------------------------------------------------------------
+def test_assign_edge():
+    func, seg, _ = prepare_one("fn f(a) { x = a; return x; }", "f")
+    x = ssa_var(func, "x")
+    edges = seg.in_edges[def_key(x)]
+    assert len(edges) == 1
+    assert vertex_var(edges[0].src) == func.function.params[0]
+    assert edges[0].label is T.TRUE
+    assert edges[0].is_copy
+
+
+def test_phi_edges_carry_gates():
+    func, seg, _ = prepare_one(
+        "fn f(a, b, c) { if (c > 0) { x = a; } else { x = b; } return x; }", "f"
+    )
+    phi = find_instr(func, cfg.Phi, lambda i: base_name(i.dest) == "x")
+    edges = seg.in_edges[def_key(phi.dest)]
+    assert len(edges) == 2
+    labels = [e.label for e in edges]
+    assert labels[0] is T.not_(labels[1]) or labels[1] is T.not_(labels[0])
+
+
+def test_operator_vertices_not_copies():
+    func, seg, _ = prepare_one("fn f(a, b) { x = a + b; return x; }", "f")
+    x = ssa_var(func, "x")
+    edges = seg.in_edges[def_key(x)]
+    assert len(edges) == 1
+    assert edges[0].src[0] == "op"
+    assert not edges[0].is_copy
+
+
+def test_load_edges_from_memory():
+    func, seg, _ = prepare_one(
+        "fn f(a) { p = malloc(); *p = a; x = *p; return x; }", "f"
+    )
+    x = ssa_var(func, "x")
+    edges = [e for e in seg.in_edges[def_key(x)] if e.is_copy]
+    assert len(edges) == 1
+    assert base_name(vertex_var(edges[0].src)) == "a"
+
+
+def test_free_creates_use_anchor():
+    func, seg, _ = prepare_one("fn f() { p = malloc(); free(p); return 0; }", "f")
+    call = find_instr(func, cfg.Call, lambda i: i.callee == "free")
+    p = call.args[0].name
+    assert use_key(p, call.uid) in seg.vertices
+
+
+def test_deref_creates_use_anchor():
+    func, seg, _ = prepare_one("fn f(p) { x = *p; return x; }", "f")
+    load = find_instr(func, cfg.Load, lambda i: not i.dest.startswith("R$"))
+    assert use_key(load.pointer.name, load.uid) in seg.vertices
+
+
+def test_control_dependence_recorded():
+    func, seg, _ = prepare_one(
+        "fn f(a) { if (a > 0) { x = free_it(); } return 0; }", "f"
+    )
+    call = find_instr(func, cfg.Call, lambda i: i.callee == "free_it")
+    controls = seg.statement_controls(call.uid)
+    assert len(controls) == 1
+    assert controls[0][1] is True
+
+
+# ----------------------------------------------------------------------
+# DD / CD
+# ----------------------------------------------------------------------
+def test_dd_of_comparison(smt=None):
+    func, seg, cond = prepare_one("fn f(e) { t = e != 0; return t; }", "f")
+    t = ssa_var(func, "t")
+    constraint = cond.dd(t)
+    # DD(t) constrains t <-> (e != 0) and defers e to the caller.
+    assert func.function.params[0] in constraint.params
+    solver = SMTSolver()
+    e = func.function.params[0]
+    # t & (e == 0) & DD(t) must be unsatisfiable.
+    check = T.and_(constraint.term, T.bool_var(t), T.eq(T.int_var(e), T.const(0)))
+    assert solver.check(check) is Result.UNSAT
+
+
+def test_dd_param_deferred():
+    func, seg, cond = prepare_one("fn f(a) { x = a; return x; }", "f")
+    x = ssa_var(func, "x")
+    constraint = cond.dd(x)
+    assert constraint.params == frozenset({func.function.params[0]})
+    assert constraint.receivers == frozenset()
+
+
+def test_dd_receiver_deferred():
+    func, seg, cond = prepare_one("fn f() { r = g(); return r; }", "f")
+    r = ssa_var(func, "r")
+    constraint = cond.dd(r)
+    assert r in constraint.receivers
+
+
+def test_dd_phi_implications():
+    func, seg, cond = prepare_one(
+        "fn f(a, b, c) { if (c > 0) { x = a; } else { x = b; } return x; }", "f"
+    )
+    phi = find_instr(func, cfg.Phi, lambda i: base_name(i.dest) == "x")
+    x = phi.dest
+    constraint = cond.dd(x)
+    solver = SMTSolver()
+    a, b, c = func.function.params
+    # Under c > 0, x must equal a: x != a & c > 0 & DD is unsat.
+    check = T.and_(
+        constraint.term,
+        T.gt(T.int_var(c), T.const(0)),
+        T.ne(T.int_var(x), T.int_var(a)),
+    )
+    assert solver.check(check) is Result.UNSAT
+    # Without fixing the branch, x may equal b.
+    check_sat = T.and_(constraint.term, T.eq(T.int_var(x), T.int_var(b)))
+    assert solver.check(check_sat) is not Result.UNSAT
+
+
+def test_cd_single_branch():
+    func, seg, cond = prepare_one(
+        "fn f(a) { if (a > 0) { sink(a); } return 0; }", "f"
+    )
+    call = find_instr(func, cfg.Call, lambda i: i.callee == "sink")
+    constraint = cond.cd(call.uid)
+    # CD includes the branch literal and the defining comparison.
+    solver = SMTSolver()
+    a = func.function.params[0]
+    check = T.and_(constraint.term, T.le(T.int_var(a), T.const(0)))
+    assert solver.check(check) is Result.UNSAT
+
+
+def test_cd_nested_chains():
+    func, seg, cond = prepare_one(
+        """
+        fn f(a, b) {
+            if (a > 0) {
+                if (b > 0) { sink(a); }
+            }
+            return 0;
+        }
+        """,
+        "f",
+    )
+    call = find_instr(func, cfg.Call, lambda i: i.callee == "sink")
+    constraint = cond.cd(call.uid)
+    solver = SMTSolver()
+    a, b = func.function.params
+    # Both branch conditions must hold for the sink to execute.
+    for param in (a, b):
+        check = T.and_(constraint.term, T.le(T.int_var(param), T.const(0)))
+        assert solver.check(check) is Result.UNSAT
+
+
+def test_cd_efficient_no_spurious_conditions():
+    # Example 3.6: a statement after the diamond has TRUE control
+    # dependence — not the verbose disjunction over all paths.
+    func, seg, cond = prepare_one(
+        "fn f(a) { if (a > 0) { x = 1; } else { x = 2; } sink(x); return 0; }",
+        "f",
+    )
+    call = find_instr(func, cfg.Call, lambda i: i.callee == "sink")
+    constraint = cond.cd(call.uid)
+    assert constraint.term is T.TRUE
+
+
+# ----------------------------------------------------------------------
+# PC (Equation 1)
+# ----------------------------------------------------------------------
+def test_pc_feasible_path():
+    func, seg, cond = prepare_one(
+        """
+        fn f(a, c) {
+            p = malloc();
+            *p = a;
+            x = *p;
+            if (c > 0) { sink(x); }
+            return 0;
+        }
+        """,
+        "f",
+    )
+    x = ssa_var(func, "x")
+    call = find_instr(func, cfg.Call, lambda i: i.callee == "sink")
+    a_def = def_key(func.function.params[0])
+    path = [a_def, def_key(x), use_key(x, call.uid)]
+    constraint = cond.pc(path)
+    solver = SMTSolver()
+    assert solver.check(constraint.term) is not Result.UNSAT
+
+
+def test_pc_infeasible_contradictory_branches():
+    # The classic false-positive trap: the two statements sit on
+    # contradictory branches of the same condition.
+    func, seg, cond = prepare_one(
+        """
+        fn f(a, c) {
+            t = c > 0;
+            if (t) { x = a; } else { x = 0; }
+            if (!t) { sink(x); }
+            return 0;
+        }
+        """,
+        "f",
+    )
+    x_phi = find_instr(func, cfg.Phi, lambda i: base_name(i.dest) == "x")
+    call = find_instr(func, cfg.Call, lambda i: i.callee == "sink")
+    a_param = func.function.params[0]
+    path = [def_key(a_param), def_key(x_phi.dest), use_key(x_phi.dest, call.uid)]
+    constraint = cond.pc(path)
+    solver = SMTSolver()
+    # Taking the a->x edge requires t; reaching the sink requires !t.
+    edge_label = [
+        e.label for e in seg.in_edges[def_key(x_phi.dest)] if e.is_copy
+    ][0]
+    full = T.and_(constraint.term, edge_label)
+    assert solver.check(full) is Result.UNSAT

@@ -1,0 +1,100 @@
+"""Unit tests for the linear-time contradiction solver (paper Section 3.1.1)."""
+
+from repro.smt import terms as T
+from repro.smt.linear_solver import LinearSolver
+
+
+def solver():
+    return LinearSolver()
+
+
+def test_atom_is_not_contradiction():
+    assert not solver().is_obviously_unsat(T.bool_var("a"))
+
+
+def test_a_and_not_a():
+    a = T.bool_var("a")
+    assert solver().is_obviously_unsat(T.and_(a, T.not_(a)))
+
+
+def test_nested_contradiction():
+    a, b, c = T.bool_var("a"), T.bool_var("b"), T.bool_var("c")
+    cond = T.and_(a, b, T.and_(c, T.not_(a)))
+    assert solver().is_obviously_unsat(cond)
+
+
+def test_disjunction_weakens():
+    a, b = T.bool_var("a"), T.bool_var("b")
+    # (a | b) & !a is satisfiable (choose b): P((a|b)) = {} by intersection.
+    cond = T.and_(T.or_(a, b), T.not_(a))
+    assert not solver().is_obviously_unsat(cond)
+
+
+def test_disjunction_common_atom():
+    a, b, c = T.bool_var("a"), T.bool_var("b"), T.bool_var("c")
+    # (a & b) | (a & c) has P = {a}; conjoined with !a -> contradiction.
+    cond = T.and_(T.or_(T.and_(a, b), T.and_(a, c)), T.not_(a))
+    assert solver().is_obviously_unsat(cond)
+
+
+def test_negation_of_disjunction():
+    a, b = T.bool_var("a"), T.bool_var("b")
+    # !(a | b) & a == !a & !b & a -> contradiction.
+    cond = T.and_(T.not_(T.or_(a, b)), a)
+    assert solver().is_obviously_unsat(cond)
+
+
+def test_comparison_atoms_pair_up():
+    x, y = T.int_var("x"), T.int_var("y")
+    cond = T.and_(T.eq(x, y), T.ne(x, y))
+    assert solver().is_obviously_unsat(cond)
+
+
+def test_lt_ge_pair_up():
+    x, y = T.int_var("x"), T.int_var("y")
+    cond = T.and_(T.lt(x, y), T.ge(x, y))
+    assert solver().is_obviously_unsat(cond)
+
+
+def test_gt_le_pair_up():
+    x, y = T.int_var("x"), T.int_var("y")
+    cond = T.and_(T.gt(x, y), T.le(x, y))
+    assert solver().is_obviously_unsat(cond)
+
+
+def test_semantic_unsat_not_caught():
+    # x < y & y < x is unsatisfiable but NOT an easy a&!a contradiction;
+    # the linear solver must pass it through to the SMT solver.
+    x, y = T.int_var("x"), T.int_var("y")
+    cond = T.and_(T.lt(x, y), T.lt(y, x))
+    assert not solver().is_obviously_unsat(cond)
+
+
+def test_true_false_shortcuts():
+    s = solver()
+    assert s.is_obviously_unsat(T.FALSE)
+    assert not s.is_obviously_unsat(T.TRUE)
+
+
+def test_stats_counting():
+    s = solver()
+    a = T.bool_var("a")
+    s.is_obviously_unsat(a)
+    s.is_obviously_unsat(T.and_(a, T.not_(a)))
+    assert s.queries == 2
+    assert s.pruned == 1
+
+
+def test_atoms_accessor():
+    a, b = T.bool_var("a"), T.bool_var("b")
+    pos, neg = solver().atoms(T.and_(a, T.not_(b)))
+    assert a in pos
+    assert b in neg
+
+
+def test_memoization_shares_subterms():
+    s = solver()
+    a = T.bool_var("a")
+    big = T.and_(*[T.or_(a, T.bool_var(f"v{i}")) for i in range(50)])
+    assert not s.is_obviously_unsat(big)
+    assert not s.is_obviously_unsat(T.and_(big, T.bool_var("z")))

@@ -1,0 +1,228 @@
+"""Unit tests for the SAT core and the DPLL(T) SMT solver."""
+
+import pytest
+
+from repro.smt import terms as T
+from repro.smt.sat import SatSolver, neg_lit, pos_lit
+from repro.smt.simplify import simplify
+from repro.smt.solver import Result, SMTSolver
+
+
+# ----------------------------------------------------------------------
+# SAT core
+# ----------------------------------------------------------------------
+def test_sat_trivial():
+    s = SatSolver()
+    v = s.new_var()
+    s.add_clause([pos_lit(v)])
+    assert s.solve() is True
+    assert s.model()[v] == 1
+
+
+def test_sat_contradiction():
+    s = SatSolver()
+    v = s.new_var()
+    s.add_clause([pos_lit(v)])
+    s.add_clause([neg_lit(v)])
+    assert s.solve() is False
+
+
+def test_sat_chain_propagation():
+    s = SatSolver()
+    vs = [s.new_var() for _ in range(10)]
+    s.add_clause([pos_lit(vs[0])])
+    for a, b in zip(vs, vs[1:]):
+        s.add_clause([neg_lit(a), pos_lit(b)])  # a -> b
+    assert s.solve() is True
+    assert all(s.model()[v] == 1 for v in vs)
+
+
+def test_sat_pigeonhole_3_in_2_unsat():
+    # 3 pigeons, 2 holes: classic small UNSAT instance exercising learning.
+    s = SatSolver()
+    holes = 2
+    pigeons = 3
+    var = {}
+    for p in range(pigeons):
+        for h in range(holes):
+            var[p, h] = s.new_var()
+    for p in range(pigeons):
+        s.add_clause([pos_lit(var[p, h]) for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                s.add_clause([neg_lit(var[p1, h]), neg_lit(var[p2, h])])
+    assert s.solve() is False
+
+
+def test_sat_random_satisfiable():
+    import random
+
+    rng = random.Random(7)
+    s = SatSolver()
+    n = 30
+    vs = [s.new_var() for _ in range(n)]
+    target = [rng.random() < 0.5 for _ in range(n)]
+    # Clauses consistent with the target assignment.
+    for _ in range(120):
+        picks = rng.sample(range(n), 3)
+        clause = []
+        satisfied_pick = rng.choice(picks)
+        for i in picks:
+            want_true = target[i] if i == satisfied_pick else rng.random() < 0.5
+            clause.append(pos_lit(vs[i]) if want_true else neg_lit(vs[i]))
+        s.add_clause(clause)
+    assert s.solve() is True
+
+
+def test_sat_assumptions():
+    s = SatSolver()
+    a, b = s.new_var(), s.new_var()
+    s.add_clause([neg_lit(a), pos_lit(b)])  # a -> b
+    assert s.solve(assumptions=[pos_lit(a), neg_lit(b)]) is False
+    assert s.solve(assumptions=[pos_lit(a)]) is True
+
+
+# ----------------------------------------------------------------------
+# SMT solver
+# ----------------------------------------------------------------------
+@pytest.fixture
+def smt():
+    return SMTSolver()
+
+
+def test_smt_true_false(smt):
+    assert smt.check(T.TRUE) is Result.SAT
+    assert smt.check(T.FALSE) is Result.UNSAT
+
+
+def test_smt_pure_boolean(smt):
+    a, b = T.bool_var("a"), T.bool_var("b")
+    assert smt.check(T.and_(a, T.or_(T.not_(a), b))) is Result.SAT
+    assert smt.check(T.and_(a, T.not_(a))) is Result.UNSAT
+
+
+def test_smt_equality_chain_conflict(smt):
+    x, y, z = T.int_var("x"), T.int_var("y"), T.int_var("z")
+    cond = T.and_(T.eq(x, y), T.eq(y, z), T.ne(x, z))
+    assert smt.check(cond) is Result.UNSAT
+
+
+def test_smt_equality_chain_sat(smt):
+    x, y, z = T.int_var("x"), T.int_var("y"), T.int_var("z")
+    cond = T.and_(T.eq(x, y), T.ne(y, z))
+    assert smt.check(cond) is Result.SAT
+
+
+def test_smt_constants_conflict(smt):
+    x = T.int_var("x")
+    cond = T.and_(T.eq(x, T.const(1)), T.eq(x, T.const(2)))
+    assert smt.check(cond) is Result.UNSAT
+
+
+def test_smt_order_cycle(smt):
+    x, y = T.int_var("x"), T.int_var("y")
+    cond = T.and_(T.lt(x, y), T.lt(y, x))
+    assert smt.check(cond) is Result.UNSAT
+
+
+def test_smt_order_with_constants(smt):
+    x = T.int_var("x")
+    sat_cond = T.and_(T.gt(x, T.const(0)), T.lt(x, T.const(10)))
+    unsat_cond = T.and_(T.gt(x, T.const(10)), T.lt(x, T.const(5)))
+    assert smt.check(sat_cond) is Result.SAT
+    assert smt.check(unsat_cond) is Result.UNSAT
+
+
+def test_smt_strict_cycle_le(smt):
+    x, y = T.int_var("x"), T.int_var("y")
+    # x <= y and y <= x is fine; adding x != y makes it unsat only with
+    # equality reasoning over orders, which we do not claim; but
+    # x < y & y <= x must be unsat.
+    cond = T.and_(T.lt(x, y), T.le(y, x))
+    assert smt.check(cond) is Result.UNSAT
+
+
+def test_smt_arithmetic_ground(smt):
+    x, y = T.int_var("x"), T.int_var("y")
+    cond = T.and_(
+        T.eq(x, T.const(2)),
+        T.eq(y, T.add(x, T.const(1))),
+        T.eq(y, T.const(4)),
+    )
+    assert smt.check(cond) is Result.UNSAT
+    cond_sat = T.and_(
+        T.eq(x, T.const(2)),
+        T.eq(y, T.add(x, T.const(1))),
+        T.eq(y, T.const(3)),
+    )
+    assert smt.check(cond_sat) is Result.SAT
+
+
+def test_smt_congruence(smt):
+    x, y = T.int_var("x"), T.int_var("y")
+    fx = T.add(x, T.const(5))
+    fy = T.add(y, T.const(5))
+    cond = T.and_(T.eq(x, y), T.ne(fx, fy))
+    assert smt.check(cond) is Result.UNSAT
+
+
+def test_smt_boolean_equation_rewrite(smt):
+    # f == (e != 0), f, e == 0 must be unsat (paper Fig. 5's condition ②).
+    f = T.bool_var("f")
+    e = T.int_var("e")
+    cond = T.and_(T.eq(f, T.ne(e, T.const(0))), f, T.eq(e, T.const(0)))
+    assert smt.check(cond) is Result.UNSAT
+
+
+def test_smt_value_flow_path_condition(smt):
+    # The paper's motivating condition: theta1 & theta3 & theta2 over
+    # independent branch variables is satisfiable.
+    t1, t2, t3 = (T.bool_var(f"theta{i}") for i in (1, 2, 3))
+    assert smt.check(T.and_(t1, t2, t3)) is Result.SAT
+
+
+def test_smt_mixed_structure(smt):
+    a = T.bool_var("a")
+    x = T.int_var("x")
+    cond = T.and_(
+        T.or_(a, T.eq(x, T.const(1))),
+        T.or_(T.not_(a), T.eq(x, T.const(2))),
+        T.eq(x, T.const(3)),
+    )
+    assert smt.check(cond) is Result.UNSAT
+
+
+def test_smt_stats(smt):
+    smt.check(T.bool_var("a"))
+    smt.check(T.and_(T.bool_var("a"), T.not_(T.bool_var("a"))))
+    assert smt.queries == 2
+    assert smt.sat_answers == 1
+    assert smt.unsat_answers == 1
+
+
+def test_is_satisfiable_wrapper(smt):
+    assert smt.is_satisfiable(T.bool_var("a"))
+    assert not smt.is_satisfiable(T.FALSE)
+
+
+# ----------------------------------------------------------------------
+# Simplifier
+# ----------------------------------------------------------------------
+def test_simplify_absorption():
+    a, b = T.bool_var("a"), T.bool_var("b")
+    assert simplify(T.and_(a, T.or_(a, b))) is a
+    assert simplify(T.or_(a, T.and_(a, b))) is a
+
+
+def test_simplify_complement():
+    a, b = T.bool_var("a"), T.bool_var("b")
+    assert simplify(T.and_(b, a, T.not_(a))) is T.FALSE
+    assert simplify(T.or_(b, a, T.not_(a))) is T.TRUE
+
+
+def test_simplify_preserves_sat(smt):
+    a, b, c = T.bool_var("a"), T.bool_var("b"), T.bool_var("c")
+    cond = T.and_(T.or_(a, b), T.or_(a, T.not_(b)), c)
+    simple = simplify(cond)
+    assert smt.check(simple) is smt.check(cond)

@@ -1,0 +1,145 @@
+"""Unit tests for the hash-consed term language."""
+
+import pytest
+
+from repro.smt import terms as T
+
+
+def test_hash_consing_identity():
+    a1 = T.bool_var("a")
+    a2 = T.bool_var("a")
+    assert a1 is a2
+    assert T.and_(a1, T.bool_var("b")) is T.and_(T.bool_var("b"), a2)
+
+
+def test_true_false_singletons():
+    assert T.TRUE is T.FACTORY.true
+    assert T.FALSE is T.FACTORY.false
+    assert T.TRUE.is_boolean()
+    assert not T.TRUE.is_atom()
+
+
+def test_and_simplifications():
+    a, b = T.bool_var("a"), T.bool_var("b")
+    assert T.and_() is T.TRUE
+    assert T.and_(a) is a
+    assert T.and_(a, T.TRUE) is a
+    assert T.and_(a, T.FALSE) is T.FALSE
+    assert T.and_(a, a) is a
+    assert T.and_(a, T.and_(b, a)) is T.and_(a, b)
+
+
+def test_or_simplifications():
+    a, b = T.bool_var("a"), T.bool_var("b")
+    assert T.or_() is T.FALSE
+    assert T.or_(a) is a
+    assert T.or_(a, T.FALSE) is a
+    assert T.or_(a, T.TRUE) is T.TRUE
+    assert T.or_(a, T.or_(a, b)) is T.or_(a, b)
+
+
+def test_not_simplifications():
+    a = T.bool_var("a")
+    assert T.not_(T.TRUE) is T.FALSE
+    assert T.not_(T.FALSE) is T.TRUE
+    assert T.not_(T.not_(a)) is a
+
+
+def test_not_flips_comparisons():
+    x, y = T.int_var("x"), T.int_var("y")
+    assert T.not_(T.eq(x, y)) is T.ne(x, y)
+    assert T.not_(T.lt(x, y)) is T.ge(x, y)
+    assert T.not_(T.le(x, y)) is T.gt(x, y)
+    assert T.not_(T.gt(x, y)) is T.le(x, y)
+
+
+def test_comparison_constant_folding():
+    one, two = T.const(1), T.const(2)
+    assert T.lt(one, two) is T.TRUE
+    assert T.ge(one, two) is T.FALSE
+    assert T.eq(one, one) is T.TRUE
+    assert T.ne(one, one) is T.FALSE
+
+
+def test_comparison_reflexivity():
+    x = T.int_var("x")
+    assert T.eq(x, x) is T.TRUE
+    assert T.ne(x, x) is T.FALSE
+    assert T.le(x, x) is T.TRUE
+    assert T.lt(x, x) is T.FALSE
+
+
+def test_eq_symmetric_canonical():
+    x, y = T.int_var("x"), T.int_var("y")
+    assert T.eq(x, y) is T.eq(y, x)
+    assert T.ne(x, y) is T.ne(y, x)
+
+
+def test_eq_between_booleans_becomes_iff():
+    a, b = T.bool_var("a"), T.bool_var("b")
+    term = T.eq(a, b)
+    # An iff over booleans must not be a raw theory atom.
+    assert not term.is_atom() or term.kind == "bvar"
+    assert term is T.iff(a, b)
+
+
+def test_eq_bool_with_int_coerces():
+    a = T.bool_var("a")
+    x = T.int_var("x")
+    term = T.eq(a, x)
+    # x coerces to (x != 0); the result is boolean structure.
+    assert term.is_boolean()
+    assert not term.is_comparison() or term.kind == "ne"
+
+
+def test_arith_folding():
+    x = T.int_var("x")
+    assert T.add(T.const(2), T.const(3)) is T.const(5)
+    assert T.add(x, T.const(0)) is x
+    assert T.sub(x, x) is T.const(0)
+    assert T.mul(x, T.const(1)) is x
+    assert T.mul(x, T.const(0)) is T.const(0)
+    assert T.neg(T.neg(x)) is x
+    assert T.neg(T.const(4)) is T.const(-4)
+
+
+def test_implies_iff():
+    a, b = T.bool_var("a"), T.bool_var("b")
+    assert T.implies(a, b) is T.or_(T.not_(a), b)
+    assert T.implies(T.FALSE, b) is T.TRUE
+    assert T.iff(a, a) is T.TRUE
+
+
+def test_variables_collection():
+    x, y = T.int_var("x"), T.int_var("y")
+    a = T.bool_var("a")
+    term = T.and_(a, T.eq(T.add(x, T.const(1)), y))
+    assert term.variables() == frozenset({"a", "x", "y"})
+
+
+def test_rename():
+    x, y = T.int_var("x"), T.int_var("y")
+    term = T.eq(T.add(x, T.const(1)), y)
+    renamed = T.FACTORY.rename(term, {"x": "x#1", "y": "y#1"})
+    assert renamed.variables() == frozenset({"x#1", "y#1"})
+    # Renaming with no applicable mapping is the identity.
+    assert T.FACTORY.rename(term, {"z": "w"}) is term
+
+
+def test_substitute():
+    x, y = T.int_var("x"), T.int_var("y")
+    term = T.eq(x, T.add(y, T.const(1)))
+    result = T.FACTORY.substitute(term, {"y": T.const(2)})
+    assert result is T.eq(x, T.const(3))
+
+
+def test_str_roundtrip_smoke():
+    a = T.bool_var("a")
+    x = T.int_var("x")
+    term = T.and_(a, T.or_(T.not_(a), T.lt(x, T.const(3))))
+    text = str(term)
+    assert "a" in text and "<" in text
+
+
+def test_bool_var_vs_int_var_distinct():
+    assert T.bool_var("v") is not T.int_var("v")

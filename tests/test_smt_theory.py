@@ -1,0 +1,158 @@
+"""Corner-case tests for the theory solver and the DPLL(T) loop."""
+
+import pytest
+
+from repro.smt import terms as T
+from repro.smt.solver import Result, SMTSolver
+from repro.smt.theory import TheorySolver
+
+
+def consistent(atoms):
+    return TheorySolver().check(atoms) is None
+
+
+# ----------------------------------------------------------------------
+# Equality / congruence
+# ----------------------------------------------------------------------
+def test_transitive_equality_chain():
+    xs = [T.int_var(f"x{i}") for i in range(6)]
+    atoms = [(T.eq(a, b), True) for a, b in zip(xs, xs[1:])]
+    atoms.append((T.eq(xs[0], xs[-1]), False))
+    assert not consistent(atoms)
+
+
+def test_disequality_between_distinct_classes_ok():
+    x, y, z = (T.int_var(n) for n in "xyz")
+    atoms = [(T.eq(x, y), True), (T.ne(y, z), True)]
+    assert consistent(atoms)
+
+
+def test_negated_ne_is_equality():
+    x, y = T.int_var("x"), T.int_var("y")
+    atoms = [(T.ne(x, y), False), (T.eq(x, T.const(1)), True), (T.eq(y, T.const(2)), True)]
+    assert not consistent(atoms)
+
+
+def test_congruence_over_nested_arith():
+    x, y = T.int_var("x"), T.int_var("y")
+    fx = T.add(T.add(x, T.const(1)), T.const(2))
+    fy = T.add(T.add(y, T.const(1)), T.const(2))
+    atoms = [(T.eq(x, y), True), (T.ne(fx, fy), True)]
+    assert not consistent(atoms)
+
+
+def test_constants_in_same_class_conflict():
+    x = T.int_var("x")
+    atoms = [(T.eq(x, T.const(3)), True), (T.eq(x, T.const(4)), True)]
+    assert not consistent(atoms)
+
+
+# ----------------------------------------------------------------------
+# Orders / bounds
+# ----------------------------------------------------------------------
+def test_long_strict_chain_cycle():
+    xs = [T.int_var(f"c{i}") for i in range(5)]
+    atoms = [(T.lt(a, b), True) for a, b in zip(xs, xs[1:])]
+    atoms.append((T.lt(xs[-1], xs[0]), True))
+    assert not consistent(atoms)
+
+
+def test_nonstrict_cycle_ok():
+    x, y = T.int_var("x"), T.int_var("y")
+    atoms = [(T.le(x, y), True), (T.le(y, x), True)]
+    assert consistent(atoms)
+
+
+def test_bounds_sandwich_conflict():
+    x = T.int_var("x")
+    atoms = [
+        (T.gt(x, T.const(5)), True),
+        (T.lt(x, T.const(5)), True),
+    ]
+    assert not consistent(atoms)
+
+
+def test_bounds_meet_exactly():
+    x = T.int_var("x")
+    atoms = [
+        (T.ge(x, T.const(5)), True),
+        (T.le(x, T.const(5)), True),
+    ]
+    assert consistent(atoms)
+
+
+def test_order_with_equality_propagation():
+    x, y = T.int_var("x"), T.int_var("y")
+    atoms = [
+        (T.eq(x, T.const(10)), True),
+        (T.eq(y, T.const(3)), True),
+        (T.lt(x, y), True),
+    ]
+    assert not consistent(atoms)
+
+
+def test_negated_order_atoms():
+    x = T.int_var("x")
+    # !(x < 5) and !(x > 5) means x == 5: consistent.
+    atoms = [
+        (T.lt(x, T.const(5)), False),
+        (T.gt(x, T.const(5)), False),
+    ]
+    assert consistent(atoms)
+
+
+def test_bool_vars_have_no_theory_content():
+    atoms = [(T.bool_var("a"), True), (T.bool_var("b"), False)]
+    assert consistent(atoms)
+
+
+# ----------------------------------------------------------------------
+# DPLL(T) interaction
+# ----------------------------------------------------------------------
+def test_boolean_structure_forces_theory_conflict():
+    x = T.int_var("x")
+    a = T.bool_var("a")
+    cond = T.and_(
+        T.or_(a, T.eq(x, T.const(1))),
+        T.or_(a, T.eq(x, T.const(2))),
+        T.not_(a),
+    )
+    assert SMTSolver().check(cond) is Result.UNSAT
+
+
+def test_theory_blocking_finds_other_model():
+    # First boolean model may pick both (x<y) and (y<x); blocking must
+    # recover and find the consistent assignment.
+    x, y = T.int_var("x"), T.int_var("y")
+    cond = T.and_(
+        T.or_(T.lt(x, y), T.lt(y, x)),
+        T.or_(T.lt(x, y), T.eq(x, y)),
+    )
+    assert SMTSolver().check(cond) is Result.SAT
+
+
+def test_large_conjunction_of_independent_atoms():
+    parts = []
+    for i in range(40):
+        v = T.int_var(f"v{i}")
+        parts.append(T.gt(v, T.const(i)))
+        parts.append(T.lt(v, T.const(i + 10)))
+    assert SMTSolver().check(T.and_(*parts)) is Result.SAT
+
+
+def test_deep_nested_structure():
+    a = T.bool_var("a")
+    term = a
+    for i in range(30):
+        term = T.or_(T.and_(term, T.bool_var(f"g{i}")), T.bool_var(f"h{i}"))
+    assert SMTSolver().check(term) is Result.SAT
+
+
+def test_iff_chains():
+    names = [T.bool_var(f"b{i}") for i in range(10)]
+    chain = T.and_(*(T.iff(a, b) for a, b in zip(names, names[1:])))
+    assert SMTSolver().check(T.and_(chain, names[0], names[-1])) is Result.SAT
+    assert (
+        SMTSolver().check(T.and_(chain, names[0], T.not_(names[-1])))
+        is Result.UNSAT
+    )
