@@ -55,6 +55,7 @@ from repro.core.checkers import (
     TaintChecker,
     UseAfterFreeChecker,
 )
+from repro.robust import Diagnostic, DiagnosticLog, ResourceBudget
 
 __version__ = "1.0.0"
 
@@ -63,9 +64,12 @@ __all__ = [
     "CheckResult",
     "Checker",
     "DataTransmissionChecker",
+    "Diagnostic",
+    "DiagnosticLog",
     "DoubleFreeChecker",
     "EngineConfig",
     "EngineStats",
+    "ResourceBudget",
     "IncrementalAnalyzer",
     "Location",
     "MemoryLeakChecker",

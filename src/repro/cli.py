@@ -29,6 +29,18 @@ from repro import (
     Pinpoint,
     UseAfterFreeChecker,
 )
+from repro.lang.parser import ParseError
+from repro.robust import ResourceBudget, install_faults
+
+# Exit codes:
+#   0 — clean run, no findings
+#   1 — findings reported
+#   2 — hard error (unparseable input, bad usage)
+#   3 — completed with degraded coverage (quarantines/budget exhaustion)
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+EXIT_DEGRADED = 3
 
 CHECKERS = {
     "use-after-free": UseAfterFreeChecker,
@@ -69,14 +81,26 @@ def _report_dict(report) -> Dict:
     }
 
 
+def _build_budget(args: argparse.Namespace) -> ResourceBudget:
+    return ResourceBudget(
+        wall_seconds=args.deadline or None,
+        max_steps=args.max_steps or None,
+        smt_seconds=args.smt_deadline or None,
+    )
+
+
 def cmd_check(args: argparse.Namespace) -> int:
+    if args.fault:
+        install_faults(args.fault)
     source = _read(args.file)
     config = EngineConfig(
         max_call_depth=args.depth,
         use_smt=not args.no_smt,
         use_linear_filter=not args.no_linear_filter,
     )
-    engine = Pinpoint.from_source(source, config)
+    engine = Pinpoint.from_source(
+        source, config, budget=_build_budget(args), recover=not args.strict
+    )
     names = list(CHECKERS) if args.all else [args.checker]
     baseline = None
     if args.baseline:
@@ -86,12 +110,19 @@ def cmd_check(args: argparse.Namespace) -> int:
             baseline = Baseline.load(args.baseline)
         except FileNotFoundError:
             baseline = Baseline()
-    exit_code = 0
+    exit_code = EXIT_CLEAN
     payload: List[Dict] = []
     results = []
+    diagnostics: List = []
+    diag_seen = set()
     for name in names:
         result = engine.check(CHECKERS[name]())
         results.append(result)
+        for diag in result.diagnostics:
+            key = (diag.stage, diag.unit, diag.reason, diag.line, diag.detail)
+            if key not in diag_seen:
+                diag_seen.add(key)
+                diagnostics.append(diag)
         if baseline is not None:
             new_reports = baseline.filter_new(result)
             suppressed = len(result.reports) - len(new_reports)
@@ -99,7 +130,7 @@ def cmd_check(args: argparse.Namespace) -> int:
             if suppressed and not (args.json or args.sarif):
                 print(f"[baseline] suppressed {suppressed} known {name} finding(s)")
         if result.reports:
-            exit_code = 1
+            exit_code = EXIT_FINDINGS
         if args.sarif:
             continue
         if args.json:
@@ -116,6 +147,12 @@ def cmd_check(args: argparse.Namespace) -> int:
                 f"{stats.candidates} candidates, {stats.pruned_linear} linear-pruned, "
                 f"{stats.pruned_smt} smt-pruned, {stats.smt_queries} SMT queries"
             )
+            if stats.degraded_candidates or stats.smt_deadline_hits or stats.quarantined_units:
+                print(
+                    f"  [robust] {stats.degraded_candidates} degraded candidates, "
+                    f"{stats.smt_deadline_hits} SMT deadline hits, "
+                    f"{stats.quarantined_units} quarantined units"
+                )
     if args.update_baseline:
         from repro.core.baseline import Baseline as _Baseline
 
@@ -131,8 +168,23 @@ def cmd_check(args: argparse.Namespace) -> int:
         artifact = args.file if args.file != "-" else "stdin.pin"
         print(to_sarif_json(results, artifact))
     elif args.json:
-        json.dump({"reports": payload}, sys.stdout, indent=2)
+        json.dump(
+            {
+                "reports": payload,
+                "diagnostics": [diag.as_dict() for diag in diagnostics],
+            },
+            sys.stdout,
+            indent=2,
+        )
         print()
+    else:
+        for diag in diagnostics:
+            print(f"[diagnostic] {diag}")
+    # Degraded coverage dominates: findings may be incomplete, and CI
+    # must distinguish "clean but partial" from "clean".  Both 1 and 3
+    # are nonzero, so gating on failures still works.
+    if diagnostics:
+        exit_code = EXIT_DEGRADED
     return exit_code
 
 
@@ -140,7 +192,14 @@ def cmd_run(args: argparse.Namespace) -> int:
     from repro.lang.interp import run_function
 
     source = _read(args.file)
-    values = [int(v) for v in args.args.split(",")] if args.args else []
+    try:
+        values = [int(v) for v in args.args.split(",")] if args.args else []
+    except ValueError:
+        print(
+            f"error: --args expects comma-separated integers, got {args.args!r}",
+            file=sys.stderr,
+        )
+        return EXIT_ERROR
     interp = run_function(
         source, args.entry, *values, halt_on_violation=not args.keep_going
     )
@@ -234,6 +293,42 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument(
         "--no-linear-filter", action="store_true", help="skip the linear pre-filter"
     )
+    check.add_argument(
+        "--deadline",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="wall-clock budget; past it the analysis degrades precision "
+        "instead of running on (exit 3 reports degraded coverage)",
+    )
+    check.add_argument(
+        "--smt-deadline",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="per-query SMT ceiling; a query past it falls back to the "
+        "linear solver's verdict with verdict=unknown",
+    )
+    check.add_argument(
+        "--max-steps",
+        type=int,
+        default=0,
+        metavar="N",
+        help="cooperative step budget for points-to + value-flow search",
+    )
+    check.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on the first parse error instead of quarantining the "
+        "malformed function and continuing",
+    )
+    check.add_argument(
+        "--fault",
+        default="",
+        metavar="SPEC",
+        help="deterministic fault injection, e.g. 'prepare:foo' or 'smt*1' "
+        "(also via REPRO_FAULTS; for testing the degradation paths)",
+    )
     check.set_defaults(func=cmd_check)
 
     run = sub.add_parser("run", help="execute a program in the interpreter")
@@ -267,7 +362,17 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ParseError as error:
+        source = getattr(args, "file", "<input>")
+        print(f"{source}:{error.line}: {error.message}", file=sys.stderr)
+        return EXIT_ERROR
+    except ValueError as error:
+        # Configuration errors (EngineConfig/ResourceBudget validation,
+        # malformed --fault specs) are usage errors, not crashes.
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_ERROR
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -37,6 +37,20 @@ from repro.core.summaries import (
 from repro.ir import cfg
 from repro.ir.dominance import dominators
 from repro.lang import ast
+from repro.robust.budget import ResourceBudget
+from repro.robust.diagnostics import (
+    REASON_BUDGET,
+    REASON_DEADLINE,
+    REASON_QUARANTINED,
+    REASON_REDUCED_PRECISION,
+    STAGE_CHECKER,
+    STAGE_SEARCH,
+    STAGE_SEG,
+    STAGE_SMT,
+    DiagnosticLog,
+)
+from repro.robust.faults import fault_point
+from repro.robust.quarantine import Quarantine
 from repro.seg.builder import build_seg
 from repro.seg.conditions import ConditionBuilder, Constraint, TRUE_CONSTRAINT
 from repro.seg.graph import SEG, def_key, vertex_var
@@ -84,6 +98,23 @@ class EngineConfig:
     use_smt: bool = True  # ablation: path-insensitive mode when False
     max_paths_per_source: int = 64  # demand-driven search budget
     max_reports_per_function: int = 32
+
+    def __post_init__(self) -> None:
+        if self.max_call_depth < 1:
+            raise ValueError(
+                f"max_call_depth must be >= 1, got {self.max_call_depth} "
+                "(a depth below 1 silently drops every calling context)"
+            )
+        if self.max_paths_per_source < 1:
+            raise ValueError(
+                f"max_paths_per_source must be >= 1, got {self.max_paths_per_source} "
+                "(a budget below 1 silently disables every search)"
+            )
+        if self.max_reports_per_function < 1:
+            raise ValueError(
+                f"max_reports_per_function must be >= 1, "
+                f"got {self.max_reports_per_function}"
+            )
 
 
 # ----------------------------------------------------------------------
@@ -165,27 +196,58 @@ class PinpointFunction:
 
 
 class Pinpoint:
-    """Facade: prepare once, run any number of checkers."""
+    """Facade: prepare once, run any number of checkers.
 
-    def __init__(self, module: PreparedModule, config: Optional[EngineConfig] = None) -> None:
+    A function whose SEG construction fails is quarantined (dropped with
+    a diagnostic); a checker run that crashes returns a degraded
+    :class:`CheckResult` instead of raising.  An optional
+    :class:`~repro.robust.budget.ResourceBudget` bounds wall clock and
+    search effort; past it, candidates are decided at reduced precision
+    rather than not at all."""
+
+    def __init__(
+        self,
+        module: PreparedModule,
+        config: Optional[EngineConfig] = None,
+        budget: Optional[ResourceBudget] = None,
+    ) -> None:
         self.module = module
         self.config = config or EngineConfig()
+        self.budget = budget or ResourceBudget()
+        self.budget.start()
+        self.diagnostics = module.diagnostics
         self.functions: Dict[str, PinpointFunction] = {}
         start = time.perf_counter()
         for name in module.order:
-            self.functions[name] = PinpointFunction(module[name])
+            zone = Quarantine(self.diagnostics, STAGE_SEG, name)
+            with zone:
+                fault_point("seg", name)
+                self.functions[name] = PinpointFunction(module[name])
         self.seg_seconds = time.perf_counter() - start
 
     # ------------------------------------------------------------------
     @classmethod
-    def from_source(cls, source: str, config: Optional[EngineConfig] = None) -> "Pinpoint":
-        return cls(prepare_source(source), config)
+    def from_source(
+        cls,
+        source: str,
+        config: Optional[EngineConfig] = None,
+        budget: Optional[ResourceBudget] = None,
+        recover: bool = False,
+    ) -> "Pinpoint":
+        return cls(
+            prepare_source(source, budget=budget, recover=recover), config, budget
+        )
 
     @classmethod
-    def from_program(cls, program: ast.Program, config: Optional[EngineConfig] = None) -> "Pinpoint":
+    def from_program(
+        cls,
+        program: ast.Program,
+        config: Optional[EngineConfig] = None,
+        budget: Optional[ResourceBudget] = None,
+    ) -> "Pinpoint":
         from repro.core.pipeline import prepare_module
 
-        return cls(prepare_module(program), config)
+        return cls(prepare_module(program, budget=budget), config, budget)
 
     # ------------------------------------------------------------------
     def seg_size(self) -> Tuple[int, int]:
@@ -195,9 +257,19 @@ class Pinpoint:
 
     # ------------------------------------------------------------------
     def check(self, checker: Checker) -> CheckResult:
-        """Run one checker over the whole program."""
+        """Run one checker over the whole program.
+
+        Never raises for analysis-internal failures: a crash anywhere in
+        the run yields a CheckResult whose diagnostics name what was
+        quarantined."""
         run = _CheckerRun(self, checker)
-        return run.execute()
+        zone = Quarantine(run.diagnostics, STAGE_CHECKER, checker.name)
+        with zone:
+            return run.execute()
+        # The whole run crashed (diagnostic already recorded): salvage
+        # whatever was found before the failure.
+        run.stats.quarantined_units += 1
+        return run.finish()
 
 
 class _CheckerRun:
@@ -208,6 +280,7 @@ class _CheckerRun:
         self.checker = checker
         self.config = engine.config
         self.module = engine.module
+        self.budget = engine.budget
         self.linear = LinearSolver()
         self.smt = SMTSolver()
         self.contexts = ContextAllocator()
@@ -215,27 +288,56 @@ class _CheckerRun:
         self.stats = EngineStats()
         self.reports: Dict[tuple, BugReport] = {}
         self.absence_mode = getattr(checker, "absence_mode", False)
+        # This run's own degradations; merged with the module-level log
+        # (parse/prepare/seg events) into the CheckResult.
+        self.diagnostics = DiagnosticLog()
+        # Degradation ladder rung 2: once the search budget is
+        # exhausted, candidates are still collected but decided
+        # path-insensitively (no condition assembly, no solving).
+        self.reduced_precision = False
+        self._search_start = time.perf_counter()
 
     # ------------------------------------------------------------------
     def execute(self) -> CheckResult:
-        start = time.perf_counter()
+        self._search_start = time.perf_counter()
+        self.budget.start()
+        for name in self.module.order:
+            zone = Quarantine(self.diagnostics, STAGE_CHECKER, name)
+            with zone:
+                self._process_function(name)
+            if zone.tripped:
+                self.stats.quarantined_units += 1
+        return self.finish()
+
+    def finish(self) -> CheckResult:
+        """Assemble the CheckResult from whatever has been computed so
+        far (also used to salvage a crashed run)."""
         self.stats.functions = len(self.engine.functions)
         vertices, edges = self.engine.seg_size()
         self.stats.seg_vertices = vertices
         self.stats.seg_edges = edges
         self.stats.seconds_seg = self.engine.seg_seconds
-        for name in self.module.order:
-            self._process_function(name)
-        self.stats.seconds_search = time.perf_counter() - start
+        self.stats.seconds_search = time.perf_counter() - self._search_start
         self.stats.smt_queries = self.smt.queries
+        self.stats.smt_deadline_hits = self.smt.deadline_hits
         self.stats.linear_queries = self.linear.queries
         self.stats.reported = len(self.reports)
-        result = CheckResult(self.checker.name, list(self.reports.values()), self.stats)
-        return result
+        diagnostics = list(self.engine.diagnostics) + list(self.diagnostics)
+        self.stats.quarantined_units += len(
+            self.engine.diagnostics.quarantined_units()
+        )
+        return CheckResult(
+            self.checker.name,
+            list(self.reports.values()),
+            self.stats,
+            diagnostics=diagnostics,
+        )
 
     # ------------------------------------------------------------------
     def _process_function(self, name: str) -> None:
-        pf = self.engine.functions[name]
+        pf = self.engine.functions.get(name)
+        if pf is None:
+            return  # quarantined at SEG construction
         prepared = pf.prepared
         summaries = FunctionSummaries(name)
         self.summaries[name] = summaries
@@ -469,6 +571,20 @@ class _CheckerRun:
         while stack:
             vertex, trace, hops = stack.pop()
             self.stats.search_steps += 1
+            if not self.budget.spend_steps(1) and not self.reduced_precision:
+                # Rung 2 of the degradation ladder: keep walking the SEG
+                # (finding candidates is cheap), but stop paying for
+                # condition assembly and solving from here on.
+                self.reduced_precision = True
+                self.diagnostics.record(
+                    STAGE_SEARCH,
+                    function_name,
+                    REASON_BUDGET,
+                    detail=(
+                        "search budget exhausted; remaining candidates "
+                        "decided path-insensitively"
+                    ),
+                )
             if endpoints >= self.config.max_paths_per_source:
                 break
             for edge in pf.seg.out_edges.get(vertex, ()):  # noqa: B909
@@ -939,6 +1055,10 @@ class _CheckerRun:
     def _summary_constraint(self, pf: PinpointFunction, trace: _TraceNode) -> Constraint:
         """PC of a summarized path: assembled like a candidate (nested
         summaries spliced, receivers resolved), parameters kept free."""
+        if self.reduced_precision:
+            # Budget exhausted: keep the summary's linking structure but
+            # drop its constraint (sound, path-insensitive).
+            return TRUE_CONSTRAINT
         constraint = self._assemble(pf, trace)
         # Recover the parameter set: free interface variables of this
         # function occurring in the term.
@@ -974,10 +1094,13 @@ class _CheckerRun:
         self, pf: PinpointFunction, origin: _Origin, trace: _TraceNode, sink: SinkSpec
     ) -> None:
         self.stats.candidates += 1
-        constraint = self._assemble(pf, trace)
-        constraint = Constraint(
-            T.and_(constraint.term, self._nonnull_source_term(pf, origin))
-        )
+        if self.reduced_precision:
+            constraint = TRUE_CONSTRAINT
+        else:
+            constraint = self._assemble(pf, trace)
+            constraint = Constraint(
+                T.and_(constraint.term, self._nonnull_source_term(pf, origin))
+            )
         self._decide_and_report(pf, origin, trace, sink.line, sink.value_var, constraint)
 
     def _candidate_via_callee(
@@ -990,10 +1113,13 @@ class _CheckerRun:
     ) -> None:
         self.stats.candidates += 1
         full_trace = _TraceNode("vf1", (call, vf4), trace)
-        constraint = self._assemble(pf, full_trace)
-        constraint = Constraint(
-            T.and_(constraint.term, self._nonnull_source_term(pf, origin))
-        )
+        if self.reduced_precision:
+            constraint = TRUE_CONSTRAINT
+        else:
+            constraint = self._assemble(pf, full_trace)
+            constraint = Constraint(
+                T.and_(constraint.term, self._nonnull_source_term(pf, origin))
+            )
         sink_function = vf4.origin_function or vf4.function
         sink_line = vf4.origin_line or vf4.sink_line
         sink_var = vf4.origin_var or vf4.sink_var
@@ -1001,6 +1127,44 @@ class _CheckerRun:
             pf, origin, full_trace, sink_line, sink_var, constraint,
             sink_function=sink_function,
         )
+
+    def _checked_smt(self, term: Term, function_name: str, sink_line: int) -> Result:
+        """One SMT query under the budget's per-query deadline, with the
+        degradation ladder applied:
+
+        - deadline exceeded → rung 1: fall back to the linear solver's
+          verdict (prune if it proves UNSAT, otherwise UNKNOWN);
+        - solver crash → quarantine the query, same linear fallback.
+        """
+        try:
+            answer = self.smt.check(term, deadline=self.budget.smt_deadline())
+        except (KeyboardInterrupt, SystemExit, MemoryError):
+            raise
+        except Exception as error:
+            self.diagnostics.record(
+                STAGE_SMT,
+                function_name,
+                REASON_QUARANTINED,
+                detail=f"{type(error).__name__}: {error}",
+                line=sink_line,
+            )
+            self.stats.quarantined_units += 1
+            return self._linear_fallback(term)
+        if answer is Result.UNKNOWN and self.smt.last_unknown_reason == "deadline":
+            self.diagnostics.record(
+                STAGE_SMT,
+                function_name,
+                REASON_DEADLINE,
+                detail="SMT deadline exceeded; using linear solver's verdict",
+                line=sink_line,
+            )
+            return self._linear_fallback(term)
+        return answer
+
+    def _linear_fallback(self, term: Term) -> Result:
+        if self.linear.is_obviously_unsat(term):
+            return Result.UNSAT
+        return Result.UNKNOWN
 
     def _decide_and_report(
         self,
@@ -1016,20 +1180,35 @@ class _CheckerRun:
         term = constraint.term
         verdict = "sat"
         witness = ""
-        if self.config.use_linear_filter and self.linear.is_obviously_unsat(term):
-            self.stats.pruned_linear += 1
-            self.stats.seconds_solving += time.perf_counter() - start
-            return
-        if self.config.use_smt:
-            answer = self.smt.check(term)
-            if answer is Result.UNSAT:
-                self.stats.pruned_smt += 1
+        function_name = pf.prepared.function.name
+        if self.reduced_precision:
+            # Rung 2: budget exhausted — report the candidate without
+            # solving.  "unknown" keeps it visible while flagging the
+            # reduced confidence.
+            verdict = "unknown"
+            self.stats.degraded_candidates += 1
+            self.diagnostics.record(
+                STAGE_SEARCH,
+                function_name,
+                REASON_REDUCED_PRECISION,
+                detail="candidate reported without path-condition solving",
+                line=sink_line,
+            )
+        else:
+            if self.config.use_linear_filter and self.linear.is_obviously_unsat(term):
+                self.stats.pruned_linear += 1
                 self.stats.seconds_solving += time.perf_counter() - start
                 return
-            if answer is Result.UNKNOWN:
-                verdict = "unknown"
-            else:
-                witness = _format_witness(self.smt.last_model)
+            if self.config.use_smt:
+                answer = self._checked_smt(term, function_name, sink_line)
+                if answer is Result.UNSAT:
+                    self.stats.pruned_smt += 1
+                    self.stats.seconds_solving += time.perf_counter() - start
+                    return
+                if answer is Result.UNKNOWN:
+                    verdict = "unknown"
+                else:
+                    witness = _format_witness(self.smt.last_model)
         self.stats.seconds_solving += time.perf_counter() - start
 
         path = []

@@ -30,8 +30,19 @@ from repro.ir.gating import GateInfo
 from repro.ir.lower import lower_program
 from repro.ir.ssa import to_ssa
 from repro.lang import ast
-from repro.lang.parser import parse_program
+from repro.lang.parser import parse_program, parse_program_tolerant
 from repro.pta.intraproc import PointsToAnalysis, PointsToResult
+from repro.robust.budget import ResourceBudget
+from repro.robust.diagnostics import (
+    REASON_BUDGET,
+    REASON_PARSE_ERROR,
+    STAGE_PARSE,
+    STAGE_PREPARE,
+    STAGE_PTA,
+    DiagnosticLog,
+)
+from repro.robust.faults import fault_point
+from repro.robust.quarantine import Quarantine
 from repro.smt.linear_solver import LinearSolver
 from repro.transform.connectors import (
     ConnectorSignature,
@@ -66,6 +77,10 @@ class PreparedModule:
     callgraph: Optional[CallGraph] = None
     order: List[str] = field(default_factory=list)
     linear: LinearSolver = field(default_factory=LinearSolver)
+    # Degradations and quarantines accumulated while building this
+    # module (parse recovery, per-function preparation failures).  The
+    # engine folds these into every CheckResult.
+    diagnostics: DiagnosticLog = field(default_factory=DiagnosticLog)
 
     def __getitem__(self, name: str) -> PreparedFunction:
         return self.functions[name]
@@ -77,9 +92,21 @@ class PreparedModule:
         return iter(self.functions.values())
 
 
-def prepare_module(program: ast.Program) -> PreparedModule:
-    """Run the preparation pipeline on a whole program."""
+def prepare_module(
+    program: ast.Program,
+    budget: Optional[ResourceBudget] = None,
+    diagnostics: Optional[DiagnosticLog] = None,
+) -> PreparedModule:
+    """Run the preparation pipeline on a whole program.
+
+    A function whose preparation raises is *quarantined*: it is dropped
+    from the prepared module (recorded as a diagnostic) and its callers
+    treat calls to it as opaque external calls — exactly the treatment
+    same-SCC callees already get.  Nothing short of a fatal signal
+    aborts the whole module."""
     prepared = PreparedModule()
+    if diagnostics is not None:
+        prepared.diagnostics = diagnostics
     linear = prepared.linear
 
     # Lower twice is avoided: we lower once for the call graph shape, then
@@ -90,7 +117,6 @@ def prepare_module(program: ast.Program) -> PreparedModule:
     callgraph = CallGraph(module)
     prepared.callgraph = callgraph
     order = callgraph.bottom_up_order()
-    prepared.order = order
 
     ast_by_name = {f.name: f for f in program.functions}
     signatures: Dict[str, ConnectorSignature] = {}
@@ -99,6 +125,7 @@ def prepare_module(program: ast.Program) -> PreparedModule:
         for member in scc:
             scc_of[member] = index
 
+    log = prepared.diagnostics
     for name in order:
         func_ast = ast_by_name[name]
 
@@ -109,9 +136,23 @@ def prepare_module(program: ast.Program) -> PreparedModule:
             for callee, sig in signatures.items()
             if scc_of.get(callee) != scc_of.get(name)
         }
-        result = prepare_function(func_ast, usable, linear)
+        zone = Quarantine(log, STAGE_PREPARE, name, line=func_ast.line)
+        with zone:
+            fault_point("prepare", name)
+            result = prepare_function(func_ast, usable, linear, budget=budget)
+        if zone.tripped:
+            continue
+        if result.points_to.degraded:
+            log.record(
+                STAGE_PTA,
+                name,
+                REASON_BUDGET,
+                detail="points-to conditions degraded to TRUE",
+                line=func_ast.line,
+            )
         signatures[name] = result.signature
         prepared.functions[name] = result
+        prepared.order.append(name)
     return prepared
 
 
@@ -119,6 +160,7 @@ def prepare_function(
     func_ast: ast.FuncDef,
     usable_signatures: Dict[str, ConnectorSignature],
     linear: Optional[LinearSolver] = None,
+    budget: Optional[ResourceBudget] = None,
 ) -> PreparedFunction:
     """Run all per-function preparation stages for one function, given
     its callees' connector signatures.  This is the unit of work the
@@ -140,7 +182,7 @@ def prepare_function(
     to_ssa(function)
 
     gates = GateInfo(function)
-    analysis = PointsToAnalysis(function, gates=gates, linear=linear)
+    analysis = PointsToAnalysis(function, gates=gates, linear=linear, budget=budget)
     points_to = analysis.run()
     return PreparedFunction(
         name=func_ast.name,
@@ -186,6 +228,29 @@ def _find_alias_hazards(function: cfg.Function, points_to: PointsToResult):
     return hazards
 
 
-def prepare_source(source: str) -> PreparedModule:
-    """Parse and prepare a program given as source text."""
-    return prepare_module(parse_program(source))
+def prepare_source(
+    source: str,
+    budget: Optional[ResourceBudget] = None,
+    diagnostics: Optional[DiagnosticLog] = None,
+    recover: bool = False,
+) -> PreparedModule:
+    """Parse and prepare a program given as source text.
+
+    With ``recover=True`` the parser quarantines malformed functions
+    (recorded as ``parse`` diagnostics) instead of failing the whole
+    program; input in which *nothing* parses still raises."""
+    if budget is not None:
+        budget.start()
+    if not recover:
+        return prepare_module(parse_program(source), budget, diagnostics)
+    log = diagnostics if diagnostics is not None else DiagnosticLog()
+    program, errors = parse_program_tolerant(source)
+    for error in errors:
+        log.record(
+            STAGE_PARSE,
+            getattr(error, "unit", "") or "<module>",
+            REASON_PARSE_ERROR,
+            detail=error.message,
+            line=error.line,
+        )
+    return prepare_module(program, budget, log)

@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from repro.robust.diagnostics import Diagnostic
+
 
 @dataclass(frozen=True)
 class Location:
@@ -65,6 +67,12 @@ class EngineStats:
     smt_queries: int = 0
     linear_queries: int = 0
     search_steps: int = 0
+    # Robustness counters (repro.robust): candidates decided without
+    # SMT because a budget ran out, SMT queries cut off by the per-query
+    # deadline, and units of work quarantined after an internal failure.
+    degraded_candidates: int = 0
+    smt_deadline_hits: int = 0
+    quarantined_units: int = 0
     seconds_prepare: float = 0.0
     seconds_seg: float = 0.0
     seconds_search: float = 0.0
@@ -81,6 +89,10 @@ class CheckResult:
     checker: str
     reports: List[BugReport] = field(default_factory=list)
     stats: EngineStats = field(default_factory=EngineStats)
+    # Degradations and quarantines: module-level events (parse recovery,
+    # preparation failures) plus this run's own (search budget, SMT
+    # deadline, checker crashes).  Empty for a full-coverage run.
+    diagnostics: List[Diagnostic] = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.reports)
@@ -88,10 +100,18 @@ class CheckResult:
     def __iter__(self):
         return iter(self.reports)
 
+    @property
+    def degraded(self) -> bool:
+        """Did this run complete with less than full coverage/precision?"""
+        return bool(self.diagnostics)
+
     def summary_line(self) -> str:
         stats = self.stats
-        return (
+        line = (
             f"{self.checker}: {len(self.reports)} reports "
             f"({stats.candidates} candidates, {stats.pruned_linear} pruned by "
             f"linear solver, {stats.pruned_smt} pruned by SMT)"
         )
+        if self.diagnostics:
+            line += f" [degraded: {len(self.diagnostics)} diagnostic(s)]"
+        return line

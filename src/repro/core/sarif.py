@@ -71,6 +71,26 @@ def _result(report: BugReport, artifact: str) -> dict:
     return result
 
 
+def _notification(diag, artifact: str) -> dict:
+    """One toolExecutionNotification per degradation/quarantine."""
+    entry = {
+        "level": "warning",
+        "message": {"text": str(diag)},
+        "descriptor": {"id": f"{diag.stage}/{diag.reason}"},
+        "properties": diag.as_dict(),
+    }
+    if diag.line:
+        entry["locations"] = [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": artifact},
+                    "region": {"startLine": max(diag.line, 1)},
+                }
+            }
+        ]
+    return entry
+
+
 def _run(result: CheckResult, artifact: str) -> dict:
     rules = [
         {
@@ -80,6 +100,13 @@ def _run(result: CheckResult, artifact: str) -> dict:
             },
         }
     ]
+    diagnostics = getattr(result, "diagnostics", []) or []
+    invocation = {
+        "executionSuccessful": True,
+        "toolExecutionNotifications": [
+            _notification(diag, artifact) for diag in diagnostics
+        ],
+    }
     return {
         "tool": {
             "driver": {
@@ -89,8 +116,12 @@ def _run(result: CheckResult, artifact: str) -> dict:
                 "rules": rules,
             }
         },
+        "invocations": [invocation],
         "results": [_result(report, artifact) for report in result],
-        "properties": {"stats": result.stats.as_dict()},
+        "properties": {
+            "stats": result.stats.as_dict(),
+            "degraded": bool(diagnostics),
+        },
     }
 
 

@@ -24,7 +24,7 @@ from repro.lang.ast import (
     Unary,
     WhileStmt,
 )
-from repro.lang.parser import ParseError, parse_program
+from repro.lang.parser import ParseError, parse_program, parse_program_tolerant
 
 __all__ = [
     "AssignStmt",
@@ -43,4 +43,5 @@ __all__ = [
     "Unary",
     "WhileStmt",
     "parse_program",
+    "parse_program_tolerant",
 ]

@@ -23,15 +23,20 @@ Notes:
 from __future__ import annotations
 
 import re
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.lang import ast
+from repro.robust.faults import fault_point
 
 
 class ParseError(Exception):
     def __init__(self, message: str, line: int) -> None:
         super().__init__(f"line {line}: {message}")
+        self.message = message
         self.line = line
+        # Name of the function being parsed when the error occurred,
+        # filled in by tolerant parsing for diagnostic attribution.
+        self.unit = ""
 
 
 _TOKEN_RE = re.compile(
@@ -60,7 +65,9 @@ class _Token:
         return f"_Token({self.kind!r}, {self.text!r}, line={self.line})"
 
 
-def _tokenize(source: str) -> List[_Token]:
+def _tokenize(source: str, errors: Optional[List[ParseError]] = None) -> List[_Token]:
+    """Tokenize; with an ``errors`` list, bad characters are recorded
+    and skipped instead of raising (tolerant mode)."""
     tokens: List[_Token] = []
     line = 1
     pos = 0
@@ -68,7 +75,12 @@ def _tokenize(source: str) -> List[_Token]:
     while pos < length:
         match = _TOKEN_RE.match(source, pos)
         if match is None:
-            raise ParseError(f"unexpected character {source[pos]!r}", line)
+            error = ParseError(f"unexpected character {source[pos]!r}", line)
+            if errors is None:
+                raise error
+            errors.append(error)
+            pos += 1
+            continue
         pos = match.end()
         if match.lastgroup in ("ws", "comment"):
             line += match.group(0).count("\n")
@@ -122,6 +134,52 @@ class _Parser:
         while self._peek().kind != "eof":
             functions.append(self._fndef())
         return ast.Program(functions)
+
+    def parse_program_tolerant(self, errors: List[ParseError]) -> ast.Program:
+        """Parse with recovery at function granularity: a malformed
+        function is recorded as an error and skipped, parsing resyncs at
+        the next top-level ``fn``, and every well-formed function is
+        kept.  ``fn`` is a keyword with no nested use in the grammar, so
+        any ``fn`` token is a reliable top-level resynchronisation
+        point."""
+        functions: List[ast.FuncDef] = []
+        while self._peek().kind != "eof":
+            start_pos = self._pos
+            # Best-effort name of the function about to be parsed, for
+            # error attribution and targeted fault injection.
+            unit = self._peek(1).text if self._peek().text == "fn" else ""
+            try:
+                fault_point("parse", unit)
+                functions.append(self._fndef())
+            except ParseError as error:
+                error.unit = unit
+                errors.append(error)
+                self._resync(start_pos)
+            except RecursionError:
+                error = ParseError(
+                    f"function {unit or '<anonymous>'!s} nests too deeply",
+                    self._peek().line,
+                )
+                error.unit = unit
+                errors.append(error)
+                self._resync(start_pos)
+            except Exception as cause:  # injected faults, internal bugs
+                error = ParseError(
+                    f"internal parser failure in "
+                    f"{unit or '<anonymous>'}: {type(cause).__name__}: {cause}",
+                    self._peek().line,
+                )
+                error.unit = unit
+                errors.append(error)
+                self._resync(start_pos)
+        return ast.Program(functions)
+
+    def _resync(self, start_pos: int) -> None:
+        """Skip to the next top-level ``fn`` strictly after the point
+        where the failed parse attempt started."""
+        self._pos = max(self._pos, start_pos + 1)
+        while self._peek().kind != "eof" and self._peek().text != "fn":
+            self._advance()
 
     def _fndef(self) -> ast.FuncDef:
         start = self._expect("fn")
@@ -297,6 +355,23 @@ class _Parser:
 def parse_program(source: str) -> ast.Program:
     """Parse a whole program (one or more ``fn`` definitions)."""
     return _Parser(_tokenize(source)).parse_program()
+
+
+def parse_program_tolerant(
+    source: str,
+) -> Tuple[ast.Program, List[ParseError]]:
+    """Parse with per-function error recovery.
+
+    Returns the program built from every well-formed function plus the
+    list of errors for the malformed ones.  If *nothing* parses and
+    errors were found, the first error is raised — wholly-garbage input
+    still fails loudly."""
+    errors: List[ParseError] = []
+    tokens = _tokenize(source, errors=errors)
+    program = _Parser(tokens).parse_program_tolerant(errors)
+    if not program.functions and errors:
+        raise errors[0]
+    return program, errors
 
 
 def parse_function(source: str) -> ast.FuncDef:

@@ -64,6 +64,9 @@ class PointsToResult:
     mod: Set[Tuple[str, int]] = field(default_factory=set)
     conditions_built: int = 0
     conditions_pruned: int = 0
+    # True when the resource budget ran out mid-analysis and conditions
+    # were degraded to TRUE (sound, path-insensitive).
+    degraded: bool = False
 
     def pts(self, var: str) -> Tuple[Tuple[MemObject, Term], ...]:
         return self.points_to.get(var, ())
@@ -77,12 +80,18 @@ class PointsToAnalysis:
         function: cfg.Function,
         gates: Optional[GateInfo] = None,
         linear: Optional[LinearSolver] = None,
+        budget=None,
     ) -> None:
         if not function.is_ssa:
             raise ValueError("PointsToAnalysis requires SSA form")
         self.function = function
         self.gates = gates or GateInfo(function)
         self.linear = linear or LinearSolver()
+        # Cooperative resource budget (repro.robust).  When exhausted,
+        # conditions degrade to TRUE: the heap states stay sound but
+        # path-insensitive, and downstream clients see `degraded`.
+        self.budget = budget
+        self.degraded = False
         self.result = PointsToResult(function.name)
         self._defs: Dict[str, cfg.Instr] = {}
         for instr in function.all_instrs():
@@ -98,6 +107,11 @@ class PointsToAnalysis:
     # Condition helpers
     # ------------------------------------------------------------------
     def _conj(self, *conds: Term) -> Optional[Term]:
+        if self.degraded:
+            # Budget exhausted: stop building path conditions.  TRUE
+            # over-approximates every guard, keeping the heap states
+            # sound at reduced precision.
+            return T.TRUE
         combined = T.and_(*conds)
         self.result.conditions_built += 1
         if self.linear.is_obviously_unsat(combined):
@@ -211,7 +225,11 @@ class PointsToAnalysis:
         function = self.function
         order = function.block_order()
         back = self.gates.back
+        budget = self.budget
         for label in order:
+            if budget is not None and not self.degraded:
+                if not budget.spend_steps(1):
+                    self.degraded = True
             block = function.blocks[label]
             heap = self._merge_heaps(label, back)
             for instr in block.instrs:
@@ -228,6 +246,7 @@ class PointsToAnalysis:
             self.pts(var)
         for param in function.params + function.aux_params:
             self.pts(param)
+        self.result.degraded = self.degraded
         return self.result
 
     def _merge_heaps(self, label: str, back) -> Heap:

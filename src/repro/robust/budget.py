@@ -1,0 +1,159 @@
+"""Cooperative resource budgets.
+
+A :class:`ResourceBudget` bounds one analysis run with a wall-clock
+deadline and step budgets.  It is *cooperative*: long-running loops
+(block iteration in the points-to analysis, the engine's value-flow
+search, the SMT solver's DPLL(T) rounds) consult it at natural yield
+points and degrade — never abort — when it is exhausted.  Frameworks in
+the same family (DFI, Fusion) bound per-query resource use the same way
+and trade precision for termination instead of failing.
+
+An unlimited budget (the default) makes every check a couple of integer
+comparisons, so budget plumbing costs nothing when unused.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class BudgetExhausted(Exception):
+    """Raised only by callers that *choose* to treat exhaustion as an
+    exception; the budget object itself never raises."""
+
+
+class ResourceBudget:
+    """Wall-clock deadline plus cooperative step budgets.
+
+    Parameters
+    ----------
+    wall_seconds:
+        Total wall-clock budget for the run (parse + prepare + every
+        checker).  ``None`` means unlimited.
+    max_steps:
+        Global step budget shared by the points-to analysis (one step
+        per basic block state) and the value-flow search (one step per
+        visited vertex).  ``None`` means unlimited.
+    smt_seconds:
+        Per-query SMT ceiling.  The effective per-query deadline is the
+        minimum of this and the remaining wall budget.
+    """
+
+    def __init__(
+        self,
+        wall_seconds: Optional[float] = None,
+        max_steps: Optional[int] = None,
+        smt_seconds: Optional[float] = None,
+        clock=time.monotonic,
+    ) -> None:
+        if wall_seconds is not None and wall_seconds <= 0:
+            raise ValueError("wall_seconds must be positive")
+        if max_steps is not None and max_steps < 1:
+            raise ValueError("max_steps must be >= 1")
+        if smt_seconds is not None and smt_seconds <= 0:
+            raise ValueError("smt_seconds must be positive")
+        self.wall_seconds = wall_seconds
+        self.max_steps = max_steps
+        self.smt_seconds = smt_seconds
+        self._clock = clock
+        self._started_at: Optional[float] = None
+        self.steps_used = 0
+        # Cheap time checks: only look at the clock every N spend calls.
+        self._tick = 0
+        self._time_exceeded = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> "ResourceBudget":
+        """Arm the wall clock (idempotent; first caller wins)."""
+        if self._started_at is None:
+            self._started_at = self._clock()
+        return self
+
+    @property
+    def limited(self) -> bool:
+        return (
+            self.wall_seconds is not None
+            or self.max_steps is not None
+            or self.smt_seconds is not None
+        )
+
+    # ------------------------------------------------------------------
+    # Wall clock
+    # ------------------------------------------------------------------
+    def elapsed(self) -> float:
+        if self._started_at is None:
+            return 0.0
+        return self._clock() - self._started_at
+
+    def remaining_seconds(self) -> Optional[float]:
+        if self.wall_seconds is None:
+            return None
+        self.start()
+        return max(0.0, self.wall_seconds - self.elapsed())
+
+    def out_of_time(self) -> bool:
+        if self.wall_seconds is None:
+            return False
+        if self._time_exceeded:
+            return True
+        self.start()
+        if self.elapsed() >= self.wall_seconds:
+            self._time_exceeded = True
+        return self._time_exceeded
+
+    # ------------------------------------------------------------------
+    # Steps
+    # ------------------------------------------------------------------
+    def spend_steps(self, n: int = 1) -> bool:
+        """Charge ``n`` steps; returns False once the budget (steps or
+        time) is exhausted.  Time is sampled every 64 calls so the hot
+        loops pay an integer add, not a syscall."""
+        self.steps_used += n
+        if self.max_steps is not None and self.steps_used > self.max_steps:
+            return False
+        if self.wall_seconds is not None:
+            self._tick += 1
+            if self._time_exceeded:
+                return False
+            if (self._tick & 63) == 0 and self.out_of_time():
+                return False
+        return True
+
+    def out_of_steps(self) -> bool:
+        return self.max_steps is not None and self.steps_used > self.max_steps
+
+    def exhausted(self) -> bool:
+        return self.out_of_steps() or self.out_of_time()
+
+    # ------------------------------------------------------------------
+    # SMT
+    # ------------------------------------------------------------------
+    def smt_deadline(self) -> Optional[float]:
+        """Absolute (monotonic-clock) deadline for one SMT query, or
+        ``None`` for no limit."""
+        candidates = []
+        if self.smt_seconds is not None:
+            candidates.append(self._clock() + self.smt_seconds)
+        if self.wall_seconds is not None:
+            self.start()
+            candidates.append(self._started_at + self.wall_seconds)
+        if not candidates:
+            return None
+        return min(candidates)
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        parts = []
+        if self.wall_seconds is not None:
+            parts.append(f"wall={self.wall_seconds:g}s")
+        if self.max_steps is not None:
+            parts.append(f"steps={self.max_steps}")
+        if self.smt_seconds is not None:
+            parts.append(f"smt={self.smt_seconds:g}s")
+        return ", ".join(parts) or "unlimited"
+
+
+#: Shared unlimited budget for callers that did not pass one.  It is
+#: never started and never exhausts, so sharing one instance is safe.
+UNLIMITED = ResourceBudget()

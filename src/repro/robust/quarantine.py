@@ -1,0 +1,73 @@
+"""Quarantine isolation scopes.
+
+A :class:`Quarantine` wraps one unit of work (parsing a function,
+preparing it, building its SEG, running one checker).  If the body
+raises, the exception is converted into a structured diagnostic and
+swallowed; the caller checks ``tripped`` and skips the unit — the rest
+of the run proceeds as if the unit were an opaque external call, the
+same treatment same-SCC callees already get.
+
+``KeyboardInterrupt``/``SystemExit``/``MemoryError`` always propagate:
+quarantine isolates *unit* failures, it does not mask operator
+interrupts or process-fatal conditions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.robust.diagnostics import REASON_QUARANTINED, DiagnosticLog
+
+#: Exceptions a quarantine must never swallow.
+FATAL = (KeyboardInterrupt, SystemExit, GeneratorExit, MemoryError)
+
+
+class Quarantine:
+    """Context manager isolating one unit of work.
+
+    Usage::
+
+        zone = Quarantine(log, stage="prepare", unit=name)
+        with zone:
+            result = prepare_function(...)
+        if zone.tripped:
+            continue  # unit quarantined; diagnostic already recorded
+    """
+
+    def __init__(
+        self,
+        log: DiagnosticLog,
+        stage: str,
+        unit: str,
+        reason: str = REASON_QUARANTINED,
+        line: int = 0,
+    ) -> None:
+        self.log = log
+        self.stage = stage
+        self.unit = unit
+        self.reason = reason
+        self.line = line
+        self.error: Optional[BaseException] = None
+
+    @property
+    def tripped(self) -> bool:
+        return self.error is not None
+
+    def __enter__(self) -> "Quarantine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc is None:
+            return False
+        if isinstance(exc, FATAL):
+            return False
+        self.error = exc
+        line = self.line or getattr(exc, "line", 0) or 0
+        self.log.record(
+            self.stage,
+            self.unit,
+            self.reason,
+            detail=f"{type(exc).__name__}: {exc}",
+            line=line,
+        )
+        return True

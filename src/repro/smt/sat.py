@@ -12,6 +12,7 @@ Literal encoding: variable ``v`` (1-based int) has positive literal
 
 from __future__ import annotations
 
+import time
 from typing import Iterable, List, Optional, Sequence
 
 UNASSIGNED = -1
@@ -258,8 +259,15 @@ class SatSolver:
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
-    def solve(self, assumptions: Sequence[int] = (), max_conflicts: Optional[int] = None) -> Optional[bool]:
-        """Solve; returns True (sat), False (unsat), None (conflict budget hit)."""
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        max_conflicts: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> Optional[bool]:
+        """Solve; returns True (sat), False (unsat), None (conflict
+        budget or wall-clock ``deadline`` — a ``time.monotonic()``
+        timestamp — hit)."""
         if not self._ok:
             return False
         self._cancel_until(0)
@@ -284,7 +292,18 @@ class SatSolver:
         luby_index = 1
         conflicts_here = 0
         next_restart = restart_base * _luby(luby_index)
+        ticks = 0
+        if deadline is not None and time.monotonic() >= deadline:
+            self._cancel_until(0)
+            return None
         while True:
+            if deadline is not None:
+                # Sample the clock every 256 iterations: cheap enough
+                # for the hot loop, tight enough for sub-second budgets.
+                ticks += 1
+                if (ticks & 255) == 0 and time.monotonic() >= deadline:
+                    self._cancel_until(0)
+                    return None
             conflict = self._propagate()
             if conflict != -1:
                 self.conflicts += 1

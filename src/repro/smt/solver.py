@@ -16,8 +16,10 @@ from __future__ import annotations
 
 import enum
 import itertools
+import time
 from typing import Dict, List, Optional, Tuple
 
+from repro.robust.faults import fault_point
 from repro.smt import terms as T
 from repro.smt.sat import SatSolver, neg_lit, pos_lit
 from repro.smt.terms import Term
@@ -33,22 +35,41 @@ class Result(enum.Enum):
 class SMTSolver:
     """Decides satisfiability of boolean-structured terms."""
 
-    def __init__(self, max_theory_rounds: int = 2000) -> None:
+    def __init__(
+        self,
+        max_theory_rounds: int = 2000,
+        deadline_seconds: Optional[float] = None,
+    ) -> None:
         self._theory = TheorySolver()
         self._max_theory_rounds = max_theory_rounds
+        # Default per-query wall-clock ceiling; ``check`` may override
+        # per call with an absolute deadline.
+        self.deadline_seconds = deadline_seconds
         self.queries = 0
         self.sat_answers = 0
         self.unsat_answers = 0
+        self.deadline_hits = 0
+        # Why the last answer was UNKNOWN: "deadline", "conflicts"
+        # (SAT-core conflict budget), or "rounds" (theory round cap).
+        self.last_unknown_reason: Optional[str] = None
         # After a SAT answer: the satisfying assignment of the theory
         # atoms, as {atom Term: bool}.  Used to attach a witness ("this
         # path is feasible when c > 0") to bug reports.
         self.last_model: Optional[Dict[Term, bool]] = None
 
-    def check(self, condition: Term) -> Result:
-        """Check satisfiability of a single condition term."""
+    def check(self, condition: Term, deadline: Optional[float] = None) -> Result:
+        """Check satisfiability of a single condition term.
+
+        ``deadline`` is an absolute ``time.monotonic()`` timestamp; past
+        it the solver gives up with UNKNOWN (recorded in
+        ``last_unknown_reason``) instead of running on."""
+        fault_point("smt")
         self.queries += 1
         self.last_model = None
-        result = self._check(condition)
+        self.last_unknown_reason = None
+        if deadline is None and self.deadline_seconds is not None:
+            deadline = time.monotonic() + self.deadline_seconds
+        result = self._check(condition, deadline)
         if result is Result.SAT:
             self.sat_answers += 1
         elif result is Result.UNSAT:
@@ -60,7 +81,7 @@ class SMTSolver:
         return self.check(condition) is not Result.UNSAT
 
     # ------------------------------------------------------------------
-    def _check(self, condition: Term) -> Result:
+    def _check(self, condition: Term, deadline: Optional[float] = None) -> Result:
         if condition is T.TRUE:
             return Result.SAT
         if condition is T.FALSE:
@@ -70,8 +91,13 @@ class SMTSolver:
         root = encoder.encode(condition)
         sat.add_clause([root])
         for _ in range(self._max_theory_rounds):
-            answer = sat.solve(max_conflicts=200000)
+            if deadline is not None and time.monotonic() >= deadline:
+                return self._give_up("deadline")
+            answer = sat.solve(max_conflicts=200000, deadline=deadline)
             if answer is None:
+                if deadline is not None and time.monotonic() >= deadline:
+                    return self._give_up("deadline")
+                self.last_unknown_reason = "conflicts"
                 return Result.UNKNOWN
             if answer is False:
                 return Result.UNSAT
@@ -95,6 +121,13 @@ class SMTSolver:
                 return Result.UNSAT
             if not sat.add_clause(blocking):
                 return Result.UNSAT
+        self.last_unknown_reason = "rounds"
+        return Result.UNKNOWN
+
+    def _give_up(self, reason: str) -> Result:
+        self.last_unknown_reason = reason
+        if reason == "deadline":
+            self.deadline_hits += 1
         return Result.UNKNOWN
 
 

@@ -1,0 +1,89 @@
+"""The malformed-program corpus: quarantine, never a traceback.
+
+Every file under ``tests/corpus/`` is deliberately broken in some way
+(truncation, alien tokens, stray top-level text, unbalanced braces,
+pathological nesting).  The analysis must quarantine the broken parts,
+analyze the survivors, and report what it skipped — the CLI may exit 0,
+1, or 3, but never crash with exit 2's traceback path.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro import Pinpoint, UseAfterFreeChecker
+from repro.cli import main
+from repro.core.report import CheckResult
+from repro.robust.diagnostics import STAGE_PARSE
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+CORPUS = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.pin")))
+
+
+def _read(path):
+    with open(path, "r") as handle:
+        return handle.read()
+
+
+def test_corpus_is_populated():
+    assert len(CORPUS) >= 5
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=[os.path.basename(p) for p in CORPUS])
+def test_engine_survives_with_diagnostics(path):
+    engine = Pinpoint.from_source(_read(path), recover=True)
+    result = engine.check(UseAfterFreeChecker())
+    assert isinstance(result, CheckResult)
+    # Every corpus file is broken somewhere: the breakage must surface
+    # as structured diagnostics, not be silently dropped.
+    assert result.diagnostics
+    assert result.degraded
+    for diag in result.diagnostics:
+        assert diag.unit  # diagnostics name the quarantined unit
+        assert diag.stage
+        assert diag.reason
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=[os.path.basename(p) for p in CORPUS])
+def test_cli_never_tracebacks(path, capsys):
+    code = main(["check", path, "--all"])
+    captured = capsys.readouterr()
+    assert code in (0, 1, 3)
+    assert "Traceback" not in captured.out
+    assert "Traceback" not in captured.err
+
+
+def test_truncated_survivors_still_analyzed():
+    path = os.path.join(CORPUS_DIR, "truncated.pin")
+    engine = Pinpoint.from_source(_read(path), recover=True)
+    result = engine.check(UseAfterFreeChecker())
+    # 'truncated' is quarantined at parse; 'buggy' still yields its UAF.
+    parse_units = {d.unit for d in result.diagnostics if d.stage == STAGE_PARSE}
+    assert "truncated" in parse_units
+    reported = {r.sink.function for r in result.reports}
+    assert "buggy" in reported
+
+
+def test_bad_tokens_only_mangled_lost():
+    path = os.path.join(CORPUS_DIR, "bad_tokens.pin")
+    engine = Pinpoint.from_source(_read(path), recover=True)
+    result = engine.check(UseAfterFreeChecker())
+    assert "also_ok" in {r.sink.function for r in result.reports}
+    assert "mangled" in {d.unit for d in result.diagnostics}
+
+
+def test_deep_nesting_is_quarantined_not_fatal():
+    path = os.path.join(CORPUS_DIR, "deep_nesting.pin")
+    engine = Pinpoint.from_source(_read(path), recover=True)
+    result = engine.check(UseAfterFreeChecker())
+    assert "abyss" in {d.unit for d in result.diagnostics}
+    assert "after" in {r.sink.function for r in result.reports}
+
+
+def test_strict_mode_still_raises_on_corpus():
+    from repro.lang.parser import ParseError, parse_program
+
+    path = os.path.join(CORPUS_DIR, "unbalanced.pin")
+    with pytest.raises(ParseError):
+        parse_program(_read(path))
