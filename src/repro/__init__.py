@@ -55,6 +55,15 @@ from repro.core.checkers import (
     TaintChecker,
     UseAfterFreeChecker,
 )
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    enable_tracing,
+    get_registry,
+    get_tracer,
+    trace,
+    traced,
+)
 from repro.robust import Diagnostic, DiagnosticLog, ResourceBudget
 
 __version__ = "1.0.0"
@@ -69,6 +78,7 @@ __all__ = [
     "DoubleFreeChecker",
     "EngineConfig",
     "EngineStats",
+    "MetricsRegistry",
     "ResourceBudget",
     "IncrementalAnalyzer",
     "Location",
@@ -78,8 +88,14 @@ __all__ = [
     "Pinpoint",
     "ResourceLeakChecker",
     "TaintChecker",
+    "Tracer",
     "UseAfterFreeChecker",
     "ValueFlowQuery",
+    "enable_tracing",
+    "get_registry",
+    "get_tracer",
     "prepare_source",
+    "trace",
+    "traced",
     "__version__",
 ]

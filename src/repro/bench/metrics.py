@@ -1,48 +1,13 @@
-"""Time and memory measurement for the benchmark harness."""
+"""Time and memory measurement for the benchmark harness.
+
+The implementation lives in :mod:`repro.obs.measure` (the unified
+instrumentation layer) so benchmarks, ``repro profile`` and tests all
+share one nesting-safe measurement mechanism; this module re-exports it
+under the historical import path.
+"""
 
 from __future__ import annotations
 
-import gc
-import time
-import tracemalloc
-from dataclasses import dataclass
-from typing import Callable, Tuple, TypeVar
+from repro.obs.measure import Measurement, measure, time_only
 
-T = TypeVar("T")
-
-
-@dataclass(frozen=True)
-class Measurement:
-    seconds: float
-    peak_bytes: int
-
-    @property
-    def peak_mb(self) -> float:
-        return self.peak_bytes / (1024 * 1024)
-
-
-def measure(thunk: Callable[[], T]) -> Tuple[T, Measurement]:
-    """Run ``thunk`` measuring wall time and peak additional memory.
-
-    Peak memory is tracemalloc's high-water mark over the call — the same
-    "how much memory does building this graph take" question Figs. 8-9
-    ask.  tracemalloc adds overhead, so time and memory comparisons stay
-    apples-to-apples as long as both systems are measured this way.
-    """
-    gc.collect()
-    tracemalloc.start()
-    tracemalloc.reset_peak()
-    start = time.perf_counter()
-    result = thunk()
-    seconds = time.perf_counter() - start
-    _, peak = tracemalloc.get_traced_memory()
-    tracemalloc.stop()
-    return result, Measurement(seconds, peak)
-
-
-def time_only(thunk: Callable[[], T]) -> Tuple[T, float]:
-    """Run ``thunk`` measuring wall time only (no tracemalloc overhead)."""
-    gc.collect()
-    start = time.perf_counter()
-    result = thunk()
-    return result, time.perf_counter() - start
+__all__ = ["Measurement", "measure", "time_only"]

@@ -4,6 +4,8 @@ Usage examples::
 
     python -m repro check program.pin --checker use-after-free
     python -m repro check program.pin --all --json
+    python -m repro check program.pin --trace t.json --metrics-out m.prom
+    python -m repro profile program.pin --top 15
     python -m repro run program.pin --entry main --args 3,4
     python -m repro dump-seg program.pin --function foo
     python -m repro generate --lines 1000 --seed 7 -o program.pin
@@ -30,6 +32,13 @@ from repro import (
     UseAfterFreeChecker,
 )
 from repro.lang.parser import ParseError
+from repro.obs import (
+    configure_logging,
+    get_registry,
+    get_tracer,
+    measure,
+    render_profile,
+)
 from repro.robust import ResourceBudget, install_faults
 
 # Exit codes:
@@ -89,7 +98,53 @@ def _build_budget(args: argparse.Namespace) -> ResourceBudget:
     )
 
 
+def _setup_obs(args: argparse.Namespace, force_trace: bool = False) -> None:
+    """Arm the instrumentation layer per the common obs flags.
+
+    Each CLI run gets a *fresh* tracer and registry, so repeated in-process
+    invocations (tests, embedding) never bleed spans or counts into each
+    other."""
+    from repro.obs import MetricsRegistry, Tracer, set_registry, set_tracer
+
+    set_registry(MetricsRegistry())
+    set_tracer(Tracer(enabled=force_trace or bool(getattr(args, "trace", ""))))
+    if getattr(args, "log_level", "") or getattr(args, "log_json", False):
+        configure_logging(
+            level=getattr(args, "log_level", "") or "warning",
+            json_mode=getattr(args, "log_json", False),
+        )
+
+
+def _export_obs(args: argparse.Namespace) -> None:
+    """Write the requested trace/metrics artifacts."""
+    if getattr(args, "trace", ""):
+        get_tracer().write_chrome_trace(args.trace)
+    if getattr(args, "metrics_out", ""):
+        get_registry().write(args.metrics_out)
+
+
+def _print_stats(stats) -> None:
+    """Every EngineStats field, generated from as_dict() so a new field
+    can never be silently missing from --stats output."""
+    data = stats.as_dict()
+    timings = {k: v for k, v in data.items() if k.startswith("seconds_")}
+    robust_keys = ("degraded_candidates", "smt_deadline_hits", "quarantined_units")
+    core = {
+        k: v
+        for k, v in data.items()
+        if k not in timings and k not in robust_keys
+    }
+    print("  [stats] " + " ".join(f"{k}={v}" for k, v in core.items()))
+    print(
+        "  [timing] "
+        + " ".join(f"{k[len('seconds_'):]}={v:.3f}s" for k, v in timings.items())
+    )
+    if any(data[k] for k in robust_keys):
+        print("  [robust] " + " ".join(f"{k}={data[k]}" for k in robust_keys))
+
+
 def cmd_check(args: argparse.Namespace) -> int:
+    _setup_obs(args)
     if args.fault:
         install_faults(args.fault)
     source = _read(args.file)
@@ -141,18 +196,7 @@ def cmd_check(args: argparse.Namespace) -> int:
                 print()
                 print(report)
         if args.stats and not args.json:
-            stats = result.stats
-            print(
-                f"  [stats] {stats.seg_vertices} vertices, {stats.seg_edges} edges, "
-                f"{stats.candidates} candidates, {stats.pruned_linear} linear-pruned, "
-                f"{stats.pruned_smt} smt-pruned, {stats.smt_queries} SMT queries"
-            )
-            if stats.degraded_candidates or stats.smt_deadline_hits or stats.quarantined_units:
-                print(
-                    f"  [robust] {stats.degraded_candidates} degraded candidates, "
-                    f"{stats.smt_deadline_hits} SMT deadline hits, "
-                    f"{stats.quarantined_units} quarantined units"
-                )
+            _print_stats(result.stats)
     if args.update_baseline:
         from repro.core.baseline import Baseline as _Baseline
 
@@ -162,30 +206,79 @@ def cmd_check(args: argparse.Namespace) -> int:
         merged.save(args.update_baseline)
         if not (args.json or args.sarif):
             print(f"[baseline] wrote {len(merged)} finding(s) to {args.update_baseline}")
+    tracer = get_tracer()
     if args.sarif:
         from repro.core.sarif import to_sarif_json
 
         artifact = args.file if args.file != "-" else "stdin.pin"
-        print(to_sarif_json(results, artifact))
-    elif args.json:
-        json.dump(
-            {
-                "reports": payload,
-                "diagnostics": [diag.as_dict() for diag in diagnostics],
-            },
-            sys.stdout,
-            indent=2,
+        print(
+            to_sarif_json(
+                results,
+                artifact,
+                metrics=get_registry().as_dict(),
+                trace_summary=tracer.summary() if tracer.enabled else None,
+            )
         )
+    elif args.json:
+        document = {
+            "reports": payload,
+            "diagnostics": [diag.as_dict() for diag in diagnostics],
+            "stats": {result.checker: result.stats.as_dict() for result in results},
+            "metrics": get_registry().as_dict(),
+        }
+        if tracer.enabled:
+            document["trace"] = tracer.summary()
+        json.dump(document, sys.stdout, indent=2)
         print()
     else:
         for diag in diagnostics:
             print(f"[diagnostic] {diag}")
+    _export_obs(args)
     # Degraded coverage dominates: findings may be incomplete, and CI
     # must distinguish "clean but partial" from "clean".  Both 1 and 3
     # are nonzero, so gating on failures still works.
     if diagnostics:
         exit_code = EXIT_DEGRADED
     return exit_code
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Run the checkers with tracing on and print where time/memory/SMT
+    effort went — per pass and per function (paper Figs. 7-10)."""
+    _setup_obs(args, force_trace=True)
+    tracer = get_tracer()
+    source = _read(args.file)
+    config = EngineConfig(
+        max_call_depth=args.depth,
+        use_smt=not args.no_smt,
+    )
+    names = [args.checker] if args.checker else list(CHECKERS)
+
+    def analyze():
+        engine = Pinpoint.from_source(
+            source, config, budget=_build_budget(args), recover=True
+        )
+        return [engine.check(CHECKERS[name]()) for name in names]
+
+    results, measurement = measure(analyze)
+    print(
+        render_profile(
+            tracer,
+            get_registry(),
+            measurement,
+            source_label=args.file,
+            top=args.top,
+        )
+    )
+    reports = sum(len(result.reports) for result in results)
+    degraded = sum(len(result.diagnostics) for result in results)
+    print()
+    print(
+        f"checkers: {', '.join(names)} — {reports} report(s), "
+        f"{degraded} diagnostic(s)"
+    )
+    _export_obs(args)
+    return EXIT_CLEAN
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -269,7 +362,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    check = sub.add_parser("check", help="statically check a program")
+    # Flags shared by every analysis-running subcommand: they arm the
+    # instrumentation layer (repro.obs) and pick where it exports to.
+    obs = argparse.ArgumentParser(add_help=False)
+    obs.add_argument(
+        "--trace",
+        default="",
+        metavar="FILE",
+        help="write a Chrome trace_event JSON of the run (open in "
+        "chrome://tracing or Perfetto)",
+    )
+    obs.add_argument(
+        "--metrics-out",
+        default="",
+        metavar="FILE",
+        help="write the metrics registry here (.json for JSON, anything "
+        "else for Prometheus text format)",
+    )
+    obs.add_argument(
+        "--log-level",
+        default="",
+        choices=["debug", "info", "warning", "error"],
+        help="enable structured logging at this level",
+    )
+    obs.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit log records as JSON lines (implies logging enabled)",
+    )
+
+    check = sub.add_parser(
+        "check", help="statically check a program", parents=[obs]
+    )
     check.add_argument("file", help="program file ('-' for stdin)")
     check.add_argument(
         "--checker",
@@ -330,6 +454,30 @@ def build_parser() -> argparse.ArgumentParser:
         "(also via REPRO_FAULTS; for testing the degradation paths)",
     )
     check.set_defaults(func=cmd_check)
+
+    profile = sub.add_parser(
+        "profile",
+        help="run the checkers and print the hottest passes/functions",
+        parents=[obs],
+    )
+    profile.add_argument("file", help="program file ('-' for stdin)")
+    profile.add_argument(
+        "--checker",
+        choices=sorted(CHECKERS),
+        default="",
+        help="profile a single checker (default: all of them)",
+    )
+    profile.add_argument(
+        "--top", type=int, default=10, help="rows per table (default 10)"
+    )
+    profile.add_argument("--depth", type=int, default=6, help="max calling contexts")
+    profile.add_argument(
+        "--no-smt", action="store_true", help="path-insensitive mode"
+    )
+    profile.add_argument("--deadline", type=float, default=0.0, metavar="SECONDS")
+    profile.add_argument("--smt-deadline", type=float, default=0.0, metavar="SECONDS")
+    profile.add_argument("--max-steps", type=int, default=0, metavar="N")
+    profile.set_defaults(func=cmd_profile)
 
     run = sub.add_parser("run", help="execute a program in the interpreter")
     run.add_argument("file")

@@ -37,6 +37,8 @@ from repro.core.summaries import (
 from repro.ir import cfg
 from repro.ir.dominance import dominators
 from repro.lang import ast
+from repro.obs.log import get_logger
+from repro.obs.trace import trace as obs_trace
 from repro.robust.budget import ResourceBudget
 from repro.robust.diagnostics import (
     REASON_BUDGET,
@@ -58,6 +60,8 @@ from repro.smt import terms as T
 from repro.smt.linear_solver import LinearSolver
 from repro.smt.solver import Result, SMTSolver
 from repro.smt.terms import Term
+
+log = get_logger("engine")
 
 
 def _format_witness(model, limit: int = 4) -> str:
@@ -262,14 +266,15 @@ class Pinpoint:
         Never raises for analysis-internal failures: a crash anywhere in
         the run yields a CheckResult whose diagnostics name what was
         quarantined."""
-        run = _CheckerRun(self, checker)
-        zone = Quarantine(run.diagnostics, STAGE_CHECKER, checker.name)
-        with zone:
-            return run.execute()
-        # The whole run crashed (diagnostic already recorded): salvage
-        # whatever was found before the failure.
-        run.stats.quarantined_units += 1
-        return run.finish()
+        with obs_trace("checker.run", unit=checker.name):
+            run = _CheckerRun(self, checker)
+            zone = Quarantine(run.diagnostics, STAGE_CHECKER, checker.name)
+            with zone:
+                return run.execute()
+            # The whole run crashed (diagnostic already recorded):
+            # salvage whatever was found before the failure.
+            run.stats.quarantined_units += 1
+            return run.finish()
 
 
 class _CheckerRun:
@@ -326,6 +331,14 @@ class _CheckerRun:
         self.stats.quarantined_units += len(
             self.engine.diagnostics.quarantined_units()
         )
+        self.stats.publish(self.checker.name)
+        log.info(
+            "checker finished",
+            checker=self.checker.name,
+            reports=len(self.reports),
+            candidates=self.stats.candidates,
+            diagnostics=len(diagnostics),
+        )
         return CheckResult(
             self.checker.name,
             list(self.reports.values()),
@@ -338,16 +351,32 @@ class _CheckerRun:
         pf = self.engine.functions.get(name)
         if pf is None:
             return  # quarantined at SEG construction
+        with obs_trace("checker.fn", unit=name) as span:
+            smt_before = self.smt.queries
+            self._process_prepared(name, pf)
+            span.set(smt_queries=self.smt.queries - smt_before)
+
+    def _process_prepared(self, name: str, pf: PinpointFunction) -> None:
         prepared = pf.prepared
         summaries = FunctionSummaries(name)
         self.summaries[name] = summaries
-        self._build_rv_summaries(pf, summaries)
+        with obs_trace("summaries.rv", unit=name):
+            self._build_rv_summaries(pf, summaries)
 
         # Intrinsic source/sink specs (free, fgetc, ...) only apply to
         # *external* callees; a defined function's behaviour comes from
         # its summaries, not from its name.
         defined = self.module.functions
         call_uids = {call.uid for call in pf.seg.call_sites if call.callee in defined}
+
+        # Summary availability at this function's call sites (the
+        # engine.summaries.{hit,miss} metric): a miss means the callee is
+        # external or quarantined and the call is treated as opaque.
+        for call in pf.seg.call_sites:
+            if call.callee in self.summaries:
+                self.stats.summary_hits += 1
+            else:
+                self.stats.summary_misses += 1
 
         sinks = {
             spec.vertex: spec

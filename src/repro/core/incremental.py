@@ -32,6 +32,8 @@ from repro.ir.callgraph import CallGraph
 from repro.ir.lower import lower_program
 from repro.lang import ast
 from repro.lang.parser import parse_program
+from repro.obs.metrics import get_registry
+from repro.obs.trace import trace
 from repro.lang.pretty import pretty_function
 from repro.transform.connectors import ConnectorSignature
 
@@ -119,12 +121,22 @@ class IncrementalAnalyzer:
                 ),
             )
             cached = self._cache.get(name)
+            registry = get_registry()
             if cached is not None and cached.key == key:
                 result = cached.prepared
                 stats.reused += 1
+                registry.counter(
+                    "engine.prepare_cache.hit",
+                    "Incremental runs reusing a function's prepared artifacts",
+                ).inc()
             else:
-                result = prepare_function(func_ast, usable, prepared.linear)
+                with trace("prepare.fn", unit=name, incremental=True):
+                    result = prepare_function(func_ast, usable, prepared.linear)
                 stats.analyzed += 1
+                registry.counter(
+                    "engine.prepare_cache.miss",
+                    "Incremental runs re-preparing a function",
+                ).inc()
             next_cache[name] = _CacheEntry(key, result)
             signatures[name] = result.signature
             prepared.functions[name] = result

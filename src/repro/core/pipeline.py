@@ -31,6 +31,8 @@ from repro.ir.lower import lower_program
 from repro.ir.ssa import to_ssa
 from repro.lang import ast
 from repro.lang.parser import parse_program, parse_program_tolerant
+from repro.obs.log import get_logger
+from repro.obs.trace import trace
 from repro.pta.intraproc import PointsToAnalysis, PointsToResult
 from repro.robust.budget import ResourceBudget
 from repro.robust.diagnostics import (
@@ -50,6 +52,8 @@ from repro.transform.connectors import (
     transform_function_interface,
 )
 from repro.transform.modref import ModRefSummary, compute_modref
+
+_log = get_logger("pipeline")
 
 
 @dataclass
@@ -113,8 +117,9 @@ def prepare_module(
     # re-lower per function for the throwaway Mod/Ref copy (lowering is
     # deterministic, but instruction uids differ; only the final SSA
     # function's uids matter downstream).
-    module = lower_program(program)
-    callgraph = CallGraph(module)
+    with trace("lower", unit="<module>"):
+        module = lower_program(program)
+        callgraph = CallGraph(module)
     prepared.callgraph = callgraph
     order = callgraph.bottom_up_order()
 
@@ -137,7 +142,7 @@ def prepare_module(
             if scc_of.get(callee) != scc_of.get(name)
         }
         zone = Quarantine(log, STAGE_PREPARE, name, line=func_ast.line)
-        with zone:
+        with zone, trace("prepare.fn", unit=name):
             fault_point("prepare", name)
             result = prepare_function(func_ast, usable, linear, budget=budget)
         if zone.tripped:
@@ -153,6 +158,11 @@ def prepare_module(
         signatures[name] = result.signature
         prepared.functions[name] = result
         prepared.order.append(name)
+    _log.info(
+        "module prepared",
+        functions=len(prepared.functions),
+        quarantined=len(order) - len(prepared.functions),
+    )
     return prepared
 
 
@@ -242,9 +252,13 @@ def prepare_source(
     if budget is not None:
         budget.start()
     if not recover:
-        return prepare_module(parse_program(source), budget, diagnostics)
+        with trace("parse", unit="<module>"):
+            program = parse_program(source)
+        return prepare_module(program, budget, diagnostics)
     log = diagnostics if diagnostics is not None else DiagnosticLog()
-    program, errors = parse_program_tolerant(source)
+    with trace("parse", unit="<module>") as span:
+        program, errors = parse_program_tolerant(source)
+        span.set(functions=len(program.functions), parse_errors=len(errors))
     for error in errors:
         log.record(
             STAGE_PARSE,

@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.robust.diagnostics import Diagnostic
 
 
@@ -53,7 +55,13 @@ class BugReport:
 
 @dataclass
 class EngineStats:
-    """Counters mirroring the paper's evaluation dimensions."""
+    """Counters mirroring the paper's evaluation dimensions.
+
+    This is the *per-checker-run* view; :meth:`publish` mirrors every
+    field into the process metrics registry (``engine.<field>``, labeled
+    by checker) so ``--stats``, ``--metrics-out``, the JSON payload and
+    SARIF all report from the same numbers.
+    """
 
     functions: int = 0
     seg_vertices: int = 0
@@ -67,6 +75,12 @@ class EngineStats:
     smt_queries: int = 0
     linear_queries: int = 0
     search_steps: int = 0
+    # Summary lookups at call sites during the value-flow search: a hit
+    # means the callee's summaries were available (defined, analyzed
+    # earlier in bottom-up order), a miss that the call was treated as
+    # opaque (external/quarantined callee).
+    summary_hits: int = 0
+    summary_misses: int = 0
     # Robustness counters (repro.robust): candidates decided without
     # SMT because a budget ran out, SMT queries cut off by the per-query
     # deadline, and units of work quarantined after an internal failure.
@@ -79,7 +93,37 @@ class EngineStats:
     seconds_solving: float = 0.0
 
     def as_dict(self) -> dict:
-        return dict(self.__dict__)
+        """Every field, by name — nothing hand-enumerated, so a field
+        added to the dataclass can never be silently missing here."""
+        return dataclasses.asdict(self)
+
+    def publish(self, checker: str, registry: Optional[MetricsRegistry] = None) -> None:
+        """Mirror this run's stats into the metrics registry.
+
+        Integer fields become ``engine.<field>`` counters and the
+        ``seconds_*`` timings ``engine.seconds`` counters labeled by
+        phase, all labeled ``checker=<name>``.  Summary-cache lookups
+        additionally feed ``engine.summaries.{hit,miss}``.
+        """
+        # Explicit None check: an empty MetricsRegistry is falsy (it has
+        # __len__), so ``registry or get_registry()`` would ignore it.
+        if registry is None:
+            registry = get_registry()
+        for name, value in self.as_dict().items():
+            if name.startswith("seconds_"):
+                registry.counter(
+                    "engine.seconds", "Engine time by phase (seconds)"
+                ).inc(value, phase=name[len("seconds_"):], checker=checker)
+            else:
+                registry.counter(
+                    f"engine.{name}", f"EngineStats field {name!r}"
+                ).inc(value, checker=checker)
+        registry.counter(
+            "engine.summaries.hit", "Callee summaries found at call sites"
+        ).inc(self.summary_hits, checker=checker)
+        registry.counter(
+            "engine.summaries.miss", "Call sites with no callee summaries"
+        ).inc(self.summary_misses, checker=checker)
 
 
 @dataclass
@@ -106,6 +150,17 @@ class CheckResult:
         return bool(self.diagnostics)
 
     def summary_line(self) -> str:
+        """One stable, parseable line summarizing the run.
+
+        Format (fixed; scripts and tests may rely on it)::
+
+            <checker>: <N> reports (<C> candidates, <L> pruned by linear
+            solver, <S> pruned by SMT)
+
+        with `` [degraded: <D> diagnostic(s)]`` appended if and only if
+        the run carries diagnostics.  All five numbers are base-10
+        integers; the checker name never contains ``:``.
+        """
         stats = self.stats
         line = (
             f"{self.checker}: {len(self.reports)} reports "

@@ -11,7 +11,7 @@ path condition/witness carried in result properties.
 from __future__ import annotations
 
 import json
-from typing import Iterable, List
+from typing import Iterable, List, Optional
 
 from repro.core.report import BugReport, CheckResult, Location
 
@@ -91,7 +91,12 @@ def _notification(diag, artifact: str) -> dict:
     return entry
 
 
-def _run(result: CheckResult, artifact: str) -> dict:
+def _run(
+    result: CheckResult,
+    artifact: str,
+    metrics: Optional[dict] = None,
+    trace_summary: Optional[dict] = None,
+) -> dict:
     rules = [
         {
             "id": result.checker,
@@ -101,11 +106,20 @@ def _run(result: CheckResult, artifact: str) -> dict:
         }
     ]
     diagnostics = getattr(result, "diagnostics", []) or []
+    # Stats/metrics/trace live on the invocation: they describe *this
+    # analysis run*, not the rules or the results.  All three are views
+    # over the same instrumentation layer (repro.obs).
+    invocation_properties = {"stats": result.stats.as_dict()}
+    if metrics is not None:
+        invocation_properties["metrics"] = metrics
+    if trace_summary is not None:
+        invocation_properties["trace"] = trace_summary
     invocation = {
         "executionSuccessful": True,
         "toolExecutionNotifications": [
             _notification(diag, artifact) for diag in diagnostics
         ],
+        "properties": invocation_properties,
     }
     return {
         "tool": {
@@ -126,17 +140,33 @@ def _run(result: CheckResult, artifact: str) -> dict:
 
 
 def to_sarif(
-    results: Iterable[CheckResult], artifact: str = "program.pin"
+    results: Iterable[CheckResult],
+    artifact: str = "program.pin",
+    metrics: Optional[dict] = None,
+    trace_summary: Optional[dict] = None,
 ) -> dict:
-    """Build the SARIF log object for one or more checker runs."""
+    """Build the SARIF log object for one or more checker runs.
+
+    ``metrics`` (a :meth:`MetricsRegistry.as_dict` dump) and
+    ``trace_summary`` (a :meth:`Tracer.summary` digest) are attached to
+    every run's invocation properties when given.
+    """
     return {
         "version": SARIF_VERSION,
         "$schema": SARIF_SCHEMA,
-        "runs": [_run(result, artifact) for result in results],
+        "runs": [
+            _run(result, artifact, metrics, trace_summary) for result in results
+        ],
     }
 
 
 def to_sarif_json(
-    results: Iterable[CheckResult], artifact: str = "program.pin", indent: int = 2
+    results: Iterable[CheckResult],
+    artifact: str = "program.pin",
+    indent: int = 2,
+    metrics: Optional[dict] = None,
+    trace_summary: Optional[dict] = None,
 ) -> str:
-    return json.dumps(to_sarif(results, artifact), indent=indent)
+    return json.dumps(
+        to_sarif(results, artifact, metrics, trace_summary), indent=indent
+    )

@@ -1,0 +1,76 @@
+"""repro.obs — the unified instrumentation layer.
+
+One package threads observability through the whole pipeline (parser →
+lowering/SSA → points-to → SEG build → summaries/engine → checkers →
+SMT):
+
+- **span tracing** (:mod:`repro.obs.trace`): ``with trace("seg.build",
+  unit=fn): ...`` — hierarchical, thread-safe, near-zero overhead while
+  disabled, exported as Chrome ``trace_event`` JSON (``--trace``);
+- **metrics registry** (:mod:`repro.obs.metrics`): counters, gauges and
+  fixed-bucket histograms incremented at their source sites and exported
+  as JSON or Prometheus text (``--metrics-out``);
+- **structured logging** (:mod:`repro.obs.log`): ``--log-level`` /
+  ``--log-json`` over stdlib logging;
+- **measurement** (:mod:`repro.obs.measure`): nesting-safe wall-time /
+  peak-memory capture shared with the benchmark harness;
+- **profiling** (:mod:`repro.obs.profiling`): the ``repro profile``
+  per-pass / per-function report.
+
+Everything takes an injectable clock (:mod:`repro.obs.clock`) so tests
+and golden files are deterministic.  See ``docs/observability.md`` for
+naming conventions and wiring recipes.
+"""
+
+from repro.obs.clock import DEFAULT_CLOCK, ManualClock
+from repro.obs.log import StructuredLogger, configure as configure_logging, get_logger
+from repro.obs.measure import Measurement, measure, time_only
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    SIZE_BUCKETS,
+    get_registry,
+    set_registry,
+)
+from repro.obs.profiling import pass_table, render_profile, unit_table
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    enable_tracing,
+    get_tracer,
+    set_tracer,
+    trace,
+    traced,
+)
+
+__all__ = [
+    "DEFAULT_CLOCK",
+    "ManualClock",
+    "StructuredLogger",
+    "configure_logging",
+    "get_logger",
+    "Measurement",
+    "measure",
+    "time_only",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "SIZE_BUCKETS",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "pass_table",
+    "render_profile",
+    "unit_table",
+    "Span",
+    "Tracer",
+    "enable_tracing",
+    "get_tracer",
+    "set_tracer",
+    "trace",
+    "traced",
+]

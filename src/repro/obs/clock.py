@@ -1,0 +1,42 @@
+"""Injectable clocks for deterministic instrumentation.
+
+Every obs component (tracer, histograms' timing helpers, the profiler)
+takes a ``clock`` callable returning seconds as a float.  Production code
+uses :func:`time.perf_counter`; tests inject a :class:`ManualClock` so
+span durations and trace exports are exactly reproducible (no flaky
+"duration > 0" assertions, goldens compare byte-for-byte).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+Clock = Callable[[], float]
+
+#: Default wall clock for spans and histogram timings.
+DEFAULT_CLOCK: Clock = time.perf_counter
+
+
+class ManualClock:
+    """A clock that only moves when told to.
+
+    ``tick`` is added on *every* read, which makes successive events
+    strictly ordered without any explicit ``advance`` calls — convenient
+    for golden-file tests where each span should get a distinct,
+    deterministic timestamp.
+    """
+
+    def __init__(self, start: float = 0.0, tick: float = 0.0) -> None:
+        self.now = start
+        self.tick = tick
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.tick
+        return value
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("ManualClock cannot move backwards")
+        self.now += seconds

@@ -1,0 +1,122 @@
+"""Structured logging over stdlib :mod:`logging`.
+
+All repro code logs through :func:`get_logger`, which returns a
+:class:`StructuredLogger` accepting keyword *fields*::
+
+    log = get_logger("pipeline")
+    log.info("module prepared", functions=12, quarantined=1)
+
+Fields ride on the stdlib record (``record.fields``), so third-party
+handlers still work.  :func:`configure` installs the repro handler once:
+human-readable lines by default, one-JSON-object-per-line with
+``json_mode=True`` (for log shippers).  Nothing in ``src/repro`` may use
+bare ``print`` for diagnostics — the CLI's *output* (reports, tables,
+dot dumps) is product, everything else goes through here.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import Any, Dict, Optional
+
+ROOT_NAME = "repro"
+
+LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+
+class _JsonFormatter(logging.Formatter):
+    def format(self, record: logging.LogRecord) -> str:
+        entry: Dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        fields = getattr(record, "fields", None)
+        if fields:
+            entry.update(fields)
+        if record.exc_info and record.exc_info[0] is not None:
+            entry["exc_type"] = record.exc_info[0].__name__
+        return json.dumps(entry, default=str, sort_keys=True)
+
+
+class _TextFormatter(logging.Formatter):
+    def format(self, record: logging.LogRecord) -> str:
+        stamp = time.strftime("%H:%M:%S", time.localtime(record.created))
+        text = (
+            f"{stamp} {record.levelname.lower():<7} "
+            f"[{record.name}] {record.getMessage()}"
+        )
+        fields = getattr(record, "fields", None)
+        if fields:
+            rendered = " ".join(f"{k}={v}" for k, v in sorted(fields.items()))
+            text += f" ({rendered})"
+        return text
+
+
+class StructuredLogger:
+    """Thin wrapper turning keyword arguments into structured fields."""
+
+    def __init__(self, logger: logging.Logger) -> None:
+        self._logger = logger
+
+    def _log(self, level: int, message: str, fields: Dict[str, Any]) -> None:
+        if self._logger.isEnabledFor(level):
+            self._logger.log(level, message, extra={"fields": fields})
+
+    def debug(self, message: str, **fields) -> None:
+        self._log(logging.DEBUG, message, fields)
+
+    def info(self, message: str, **fields) -> None:
+        self._log(logging.INFO, message, fields)
+
+    def warning(self, message: str, **fields) -> None:
+        self._log(logging.WARNING, message, fields)
+
+    def error(self, message: str, **fields) -> None:
+        self._log(logging.ERROR, message, fields)
+
+    def isEnabledFor(self, level: int) -> bool:  # noqa: N802 (stdlib name)
+        return self._logger.isEnabledFor(level)
+
+
+def get_logger(name: str = "") -> StructuredLogger:
+    """Logger under the ``repro`` hierarchy (``get_logger("smt")`` ->
+    ``repro.smt``)."""
+    full = f"{ROOT_NAME}.{name}" if name else ROOT_NAME
+    return StructuredLogger(logging.getLogger(full))
+
+
+def configure(
+    level: str = "warning",
+    json_mode: bool = False,
+    stream=None,
+) -> logging.Logger:
+    """Install (or reconfigure) the repro log handler.
+
+    Idempotent: repeated calls replace the previous repro handler rather
+    than stacking duplicates.  Returns the configured root logger.
+    """
+    if level not in LEVELS:
+        raise ValueError(
+            f"unknown log level {level!r} (choose from {sorted(LEVELS)})"
+        )
+    root = logging.getLogger(ROOT_NAME)
+    root.setLevel(LEVELS[level])
+    root.propagate = False
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_handler", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler._repro_handler = True  # type: ignore[attr-defined]
+    handler.setFormatter(_JsonFormatter() if json_mode else _TextFormatter())
+    root.addHandler(handler)
+    return root

@@ -1,0 +1,165 @@
+"""Aggregate spans + metrics into the ``repro profile`` report.
+
+Answers the questions the paper's evaluation (Figs. 7-10) asks of any
+value-flow framework: which *pass* dominates (SEG build vs. summary
+search vs. SMT solving) and which *function* is hottest, with SMT-query
+attribution per function.
+
+Self-time is duration minus the duration of direct child spans (same
+thread, linked by parent uid), so a pass that merely contains another
+pass is not double-charged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.measure import Measurement
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.trace import Span, Tracer
+
+
+@dataclass
+class PassRow:
+    name: str
+    count: int = 0
+    total_seconds: float = 0.0
+    self_seconds: float = 0.0
+
+
+@dataclass
+class UnitRow:
+    unit: str
+    self_seconds: float = 0.0
+    smt_queries: int = 0
+    passes: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def hottest_pass(self) -> str:
+        if not self.passes:
+            return ""
+        return max(self.passes.items(), key=lambda item: item[1])[0]
+
+
+def self_times(spans: Sequence[Span]) -> Dict[int, float]:
+    """Span uid -> duration minus direct children's durations."""
+    child_time: Dict[int, float] = {}
+    for span in spans:
+        if span.parent is not None:
+            child_time[span.parent] = child_time.get(span.parent, 0.0) + span.duration
+    return {
+        span.uid: max(0.0, span.duration - child_time.get(span.uid, 0.0))
+        for span in spans
+    }
+
+
+def pass_table(spans: Sequence[Span]) -> List[PassRow]:
+    """Per-pass totals, hottest (by self time) first."""
+    selfs = self_times(spans)
+    rows: Dict[str, PassRow] = {}
+    for span in spans:
+        row = rows.setdefault(span.name, PassRow(span.name))
+        row.count += 1
+        row.total_seconds += span.duration
+        row.self_seconds += selfs[span.uid]
+    return sorted(rows.values(), key=lambda r: r.self_seconds, reverse=True)
+
+
+def unit_table(spans: Sequence[Span]) -> List[UnitRow]:
+    """Per-unit (function/checker) self-time totals, hottest first.
+
+    Self times are additive, so a function traced by nested passes
+    (``prepare.fn`` containing ``pta.run``) is charged exactly once.
+    """
+    selfs = self_times(spans)
+    rows: Dict[str, UnitRow] = {}
+    for span in spans:
+        if not span.unit:
+            continue
+        row = rows.setdefault(span.unit, UnitRow(span.unit))
+        row.self_seconds += selfs[span.uid]
+        row.passes[span.name] = row.passes.get(span.name, 0.0) + selfs[span.uid]
+        queries = span.args.get("smt_queries")
+        if queries:
+            row.smt_queries += int(queries)
+    return sorted(rows.values(), key=lambda r: r.self_seconds, reverse=True)
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1000:.2f}ms"
+
+
+def _table(headers: List[str], rows: List[List[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip(),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def render_profile(
+    tracer: Tracer,
+    registry: MetricsRegistry,
+    measurement: Optional[Measurement] = None,
+    source_label: str = "",
+    top: int = 10,
+) -> str:
+    """The human-readable ``repro profile`` report."""
+    spans = list(tracer.spans)
+    total = sum(s.duration for s in spans if s.parent is None)
+    lines: List[str] = []
+    title = f"repro profile — {source_label}" if source_label else "repro profile"
+    lines.append(title)
+    lines.append("=" * len(title))
+
+    summary_bits = [f"{len(spans)} spans", f"{_fmt_seconds(total)} traced"]
+    if measurement is not None:
+        summary_bits.append(f"{measurement.seconds:.2f}s wall")
+        summary_bits.append(f"{measurement.peak_mb:.1f} MB peak")
+    smt_hist = registry.get("smt.solve_seconds")
+    smt_queries = registry.get("smt.queries")
+    if smt_queries is not None and smt_queries.total():
+        summary_bits.append(f"{int(smt_queries.total())} SMT queries")
+    if isinstance(smt_hist, Histogram) and smt_hist.count():
+        summary_bits.append(f"SMT p95 {_fmt_seconds(smt_hist.quantile(0.95))}")
+    lines.append(", ".join(summary_bits))
+    lines.append("")
+
+    lines.append(f"hottest passes (top {top}, by self time)")
+    denominator = total or 1.0
+    rows = [
+        [
+            row.name,
+            str(row.count),
+            _fmt_seconds(row.total_seconds),
+            _fmt_seconds(row.self_seconds),
+            f"{100 * row.self_seconds / denominator:.1f}%",
+        ]
+        for row in pass_table(spans)[:top]
+    ]
+    lines.append(_table(["pass", "calls", "total", "self", "%run"], rows))
+    lines.append("")
+
+    lines.append(f"hottest functions (top {top}, by self time)")
+    rows = [
+        [
+            row.unit,
+            _fmt_seconds(row.self_seconds),
+            str(row.smt_queries),
+            row.hottest_pass,
+        ]
+        for row in unit_table(spans)[:top]
+    ]
+    lines.append(_table(["function", "self", "smt queries", "hottest pass"], rows))
+    return "\n".join(lines)

@@ -31,6 +31,8 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.ir import cfg
 from repro.ir.gating import GateInfo
 from repro.ir.ssa import base_name
+from repro.obs.metrics import get_registry
+from repro.obs.trace import trace
 from repro.pta.memory import (
     AllocObject,
     AuxObject,
@@ -222,6 +224,16 @@ class PointsToAnalysis:
     # Driver
     # ------------------------------------------------------------------
     def run(self) -> PointsToResult:
+        with trace("pta.run", unit=self.function.name) as span:
+            result = self._run()
+            facts = sum(len(entries) for entries in result.points_to.values())
+            get_registry().counter(
+                "pta.facts", "Points-to facts (variable, object, condition)"
+            ).inc(facts)
+            span.set(facts=facts, degraded=self.degraded)
+            return result
+
+    def _run(self) -> PointsToResult:
         function = self.function
         order = function.block_order()
         back = self.gates.back

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional
 
+from repro.obs.metrics import get_registry
+
 # Stages, in pipeline order.
 STAGE_PARSE = "parse"
 STAGE_PREPARE = "prepare"
@@ -71,10 +73,7 @@ class DiagnosticLog:
         line: int = 0,
     ) -> Diagnostic:
         diag = Diagnostic(stage, unit, reason, detail, line)
-        key = (stage, unit, reason, line)
-        if key not in self._seen:
-            self._seen.add(key)
-            self.entries.append(diag)
+        self.add(diag)
         return diag
 
     def add(self, diag: Diagnostic) -> None:
@@ -82,6 +81,13 @@ class DiagnosticLog:
         if key not in self._seen:
             self._seen.add(key)
             self.entries.append(diag)
+            # Every recorded degradation is also a metric sample, so the
+            # "what did the degradation ladder cost us" question is
+            # answerable from the same registry that feeds --metrics-out.
+            get_registry().counter(
+                "robust.degradations",
+                "Degradation/quarantine diagnostics recorded",
+            ).inc(stage=diag.stage, reason=diag.reason)
 
     def extend(self, other: "DiagnosticLog") -> None:
         for diag in other.entries:

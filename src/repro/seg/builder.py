@@ -17,11 +17,23 @@ from __future__ import annotations
 
 from repro.core.pipeline import PreparedFunction
 from repro.ir import cfg
+from repro.obs.metrics import get_registry
+from repro.obs.trace import trace
 from repro.seg.graph import SEG, const_key, def_key, op_key, use_key
 from repro.smt import terms as T
 
 
 def build_seg(prepared: PreparedFunction) -> SEG:
+    with trace("seg.build", unit=prepared.function.name) as span:
+        seg = _build_seg(prepared)
+        registry = get_registry()
+        registry.counter("seg.nodes", "SEG vertices built").inc(seg.vertex_count())
+        registry.counter("seg.edges", "SEG edges built").inc(seg.edge_count())
+        span.set(nodes=seg.vertex_count(), edges=seg.edge_count())
+        return seg
+
+
+def _build_seg(prepared: PreparedFunction) -> SEG:
     function = prepared.function
     points_to = prepared.points_to
     gates = prepared.gates

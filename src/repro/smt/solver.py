@@ -19,6 +19,8 @@ import itertools
 import time
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs.metrics import get_registry
+from repro.obs.trace import trace
 from repro.robust.faults import fault_point
 from repro.smt import terms as T
 from repro.smt.sat import SatSolver, neg_lit, pos_lit
@@ -69,11 +71,26 @@ class SMTSolver:
         self.last_unknown_reason = None
         if deadline is None and self.deadline_seconds is not None:
             deadline = time.monotonic() + self.deadline_seconds
-        result = self._check(condition, deadline)
+        registry = get_registry()
+        start = time.perf_counter()
+        with trace("smt.check") as span:
+            result = self._check(condition, deadline)
+            span.set(result=result.value)
+        elapsed = time.perf_counter() - start
+        registry.counter("smt.queries", "SMT queries issued").inc(
+            result=result.value
+        )
+        registry.histogram(
+            "smt.solve_seconds", "Per-query SMT solving latency"
+        ).observe(elapsed)
         if result is Result.SAT:
             self.sat_answers += 1
         elif result is Result.UNSAT:
             self.unsat_answers += 1
+        else:
+            registry.counter(
+                "smt.unknowns", "UNKNOWN answers by reason"
+            ).inc(reason=self.last_unknown_reason or "other")
         return result
 
     def is_satisfiable(self, condition: Term) -> bool:

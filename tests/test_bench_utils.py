@@ -100,6 +100,51 @@ def test_time_only():
     assert seconds >= 0
 
 
+def test_measure_nested_inner_does_not_stomp_outer():
+    # Regression: an inner measure() used to call tracemalloc.reset_peak()
+    # and stop tracing, so the outer frame lost its watermark (and often
+    # crashed on stop).  Each frame must now see at least its own
+    # allocations, and the outer frame must include the inner ones.
+    inner_holder = {}
+
+    def inner_work():
+        return [0] * 500_000
+
+    def outer_work():
+        before = [0] * 200_000
+        result, m = measure(inner_work)
+        inner_holder["m"] = m
+        return before, result
+
+    (_, _), outer = measure(outer_work)
+    inner = inner_holder["m"]
+    assert inner.peak_bytes > 0
+    # The outer measurement spans the inner allocation plus its own.
+    assert outer.peak_bytes >= inner.peak_bytes
+
+
+def test_measure_nested_leaves_tracemalloc_state():
+    import tracemalloc
+
+    assert not tracemalloc.is_tracing()
+    measure(lambda: measure(lambda: [0] * 1000))
+    # The owner (outermost) frame stops tracing on exit.
+    assert not tracemalloc.is_tracing()
+
+
+def test_measure_inside_preexisting_tracemalloc():
+    # If the caller already runs tracemalloc, measure() must not stop it.
+    import tracemalloc
+
+    tracemalloc.start()
+    try:
+        _, m = measure(lambda: [0] * 100_000)
+        assert m.peak_bytes > 0
+        assert tracemalloc.is_tracing()
+    finally:
+        tracemalloc.stop()
+
+
 # ----------------------------------------------------------------------
 # Tables
 # ----------------------------------------------------------------------

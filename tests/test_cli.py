@@ -161,3 +161,78 @@ def test_baseline_workflow(uaf_file, tmp_path, capsys):
 def test_baseline_missing_file_treated_empty(uaf_file, tmp_path):
     code = main(["check", uaf_file, "--baseline", str(tmp_path / "nope.json")])
     assert code == 1
+
+
+# ----------------------------------------------------------------------
+# Observability flags
+# ----------------------------------------------------------------------
+def test_check_trace_export_is_valid_chrome_trace(uaf_file, tmp_path, capsys):
+    trace_path = tmp_path / "trace.json"
+    code = main(["check", uaf_file, "--trace", str(trace_path)])
+    assert code == 1
+    doc = json.loads(trace_path.read_text())
+    events = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+    names = {e["name"] for e in events}
+    # Every pipeline stage shows up as a span.
+    assert {"parse", "prepare.fn", "pta.run", "seg.build",
+            "summaries.rv", "checker.run", "smt.check"} <= names
+    assert all("ts" in e and "dur" in e and "pid" in e for e in events)
+
+
+def test_check_metrics_export_prometheus(uaf_file, tmp_path, capsys):
+    metrics_path = tmp_path / "metrics.prom"
+    main(["check", uaf_file, "--metrics-out", str(metrics_path)])
+    text = metrics_path.read_text()
+    assert "# TYPE repro_smt_queries_total counter" in text
+    assert "repro_seg_nodes_total" in text
+    assert "repro_engine_reported_total" in text
+    assert "repro_smt_solve_seconds_bucket" in text
+
+
+def test_check_metrics_export_json(uaf_file, tmp_path):
+    metrics_path = tmp_path / "metrics.json"
+    main(["check", uaf_file, "--metrics-out", str(metrics_path)])
+    dump = json.loads(metrics_path.read_text())
+    assert "smt.queries" in dump
+    assert "engine.reported" in dump
+
+
+def test_check_json_payload_includes_stats_and_metrics(uaf_file, capsys):
+    main(["check", uaf_file, "--json", "--trace", "/dev/null"])
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["stats"]["use-after-free"]["reported"] == 1
+    assert "smt.queries" in payload["metrics"]
+    assert payload["trace"]["spans"] > 0
+    assert "smt.check" in payload["trace"]["passes"]
+
+
+def test_check_sarif_invocation_properties(uaf_file, capsys):
+    main(["check", uaf_file, "--sarif"])
+    doc = json.loads(capsys.readouterr().out)
+    properties = doc["runs"][0]["invocations"][0]["properties"]
+    assert properties["stats"]["reported"] == 1
+    assert "metrics" in properties
+
+
+def test_profile_smoke(uaf_file, capsys):
+    code = main(["profile", uaf_file, "--top", "5"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "repro profile" in out
+    assert "hottest passes" in out
+    assert "hottest functions" in out
+    assert "smt.check" in out or "checker.fn" in out
+    assert "main" in out
+
+
+def test_obs_state_does_not_leak_between_runs(uaf_file, tmp_path, capsys):
+    from repro.obs import get_registry, get_tracer
+
+    main(["check", uaf_file, "--trace", str(tmp_path / "t.json")])
+    first = len(get_tracer().spans)
+    assert first > 0
+    # The next run without --trace gets a fresh, disabled tracer.
+    main(["check", uaf_file])
+    assert get_tracer().enabled is False
+    assert get_tracer().spans == []
+    assert get_registry().counter("smt.queries").total() <= first

@@ -145,6 +145,65 @@ def test_engine_stats_as_dict():
     assert "smt_queries" in payload
 
 
+def test_engine_stats_as_dict_is_complete():
+    # Regression: as_dict() used to hand-enumerate fields and silently
+    # drop newly-added ones.  It must cover every dataclass field.
+    import dataclasses
+
+    payload = EngineStats().as_dict()
+    field_names = {f.name for f in dataclasses.fields(EngineStats)}
+    assert set(payload) == field_names
+    assert "summary_hits" in payload and "summary_misses" in payload
+
+
+def test_engine_stats_publish_mirrors_every_field():
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    stats = EngineStats(functions=2, smt_queries=5, summary_hits=3)
+    stats.publish("uaf", registry=registry)
+    dump = registry.as_dict()
+    assert dump["engine.functions"]["values"][0]["value"] == 2
+    assert dump["engine.smt_queries"]["values"][0]["value"] == 5
+    assert "engine.summaries.hit" in dump
+    # Timings land as phase-labeled engine.seconds samples.
+    phases = {
+        tuple(sorted(v["labels"].items()))
+        for v in dump["engine.seconds"]["values"]
+    }
+    assert any(("phase", "solving") in labels for labels in phases)
+
+
+def test_summary_line_stable_format():
+    import re
+
+    stats = EngineStats(candidates=4, pruned_linear=1, pruned_smt=2)
+    result = CheckResult(
+        "null-deref",
+        [BugReport("null-deref", Location("f", 1), Location("f", 2))],
+        stats=stats,
+    )
+    line = result.summary_line()
+    assert line == (
+        "null-deref: 1 reports (4 candidates, 1 pruned by linear solver, "
+        "2 pruned by SMT)"
+    )
+    pattern = (
+        r"^(?P<checker>[^:]+): (?P<reports>\d+) reports "
+        r"\((?P<cand>\d+) candidates, (?P<lin>\d+) pruned by linear solver, "
+        r"(?P<smt>\d+) pruned by SMT\)"
+        r"(?: \[degraded: (?P<diags>\d+) diagnostic\(s\)\])?$"
+    )
+    assert re.match(pattern, line)
+    # Degraded runs append the suffix — still matching the grammar.
+    from repro.robust.diagnostics import Diagnostic
+
+    result.diagnostics.append(Diagnostic("smt", "f", "timeout"))
+    degraded = result.summary_line()
+    assert degraded.endswith("[degraded: 1 diagnostic(s)]")
+    assert re.match(pattern, degraded)
+
+
 # ----------------------------------------------------------------------
 # Call graph
 # ----------------------------------------------------------------------

@@ -1,0 +1,84 @@
+"""Structured logging: field rendering, JSON mode, idempotent configure."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.log import ROOT_NAME, configure, get_logger
+
+
+@pytest.fixture(autouse=True)
+def reset_root_logger():
+    root = logging.getLogger(ROOT_NAME)
+    saved_handlers = list(root.handlers)
+    saved_level = root.level
+    yield
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    for handler in saved_handlers:
+        root.addHandler(handler)
+    root.setLevel(saved_level)
+
+
+def capture(level="info", json_mode=False):
+    stream = io.StringIO()
+    configure(level=level, json_mode=json_mode, stream=stream)
+    return stream
+
+
+def test_text_mode_renders_fields():
+    stream = capture()
+    get_logger("pipeline").info("module prepared", functions=3, quarantined=1)
+    line = stream.getvalue().strip()
+    assert "[repro.pipeline]" in line
+    assert "module prepared" in line
+    assert "(functions=3 quarantined=1)" in line
+
+
+def test_json_mode_emits_one_object_per_line():
+    stream = capture(json_mode=True)
+    log = get_logger("smt")
+    log.info("query", result="sat")
+    log.warning("slow", seconds=2.5)
+    lines = stream.getvalue().strip().splitlines()
+    assert len(lines) == 2
+    first, second = (json.loads(line) for line in lines)
+    assert first["logger"] == "repro.smt"
+    assert first["message"] == "query"
+    assert first["result"] == "sat"
+    assert second["level"] == "warning"
+    assert second["seconds"] == 2.5
+
+
+def test_level_filtering():
+    stream = capture(level="warning")
+    log = get_logger("x")
+    log.info("hidden")
+    log.warning("shown")
+    assert "hidden" not in stream.getvalue()
+    assert "shown" in stream.getvalue()
+
+
+def test_configure_is_idempotent():
+    stream = capture()
+    configure(level="info", stream=stream)  # reconfigure, same stream
+    get_logger().info("once")
+    # One handler -> the message appears exactly once.
+    assert stream.getvalue().count("once") == 1
+    root = logging.getLogger(ROOT_NAME)
+    repro_handlers = [
+        h for h in root.handlers if getattr(h, "_repro_handler", False)
+    ]
+    assert len(repro_handlers) == 1
+
+
+def test_configure_rejects_unknown_level():
+    with pytest.raises(ValueError):
+        configure(level="chatty")
+
+
+def test_get_logger_namespacing():
+    assert get_logger("seg")._logger.name == "repro.seg"
+    assert get_logger()._logger.name == "repro"

@@ -65,6 +65,40 @@ def test_linear_solver_scales_with_sharing():
     assert time.perf_counter() - start < 5
 
 
+def test_disabled_tracing_overhead_is_negligible():
+    # trace() with tracing off must stay a constant-time no-op: one
+    # attribute load, one truth test, one shared handle.  Guard both the
+    # cost and the "no spans collected" invariant.
+    from repro.obs.trace import NULL_SPAN, Tracer, set_tracer, trace
+
+    old = set_tracer(Tracer(enabled=False))
+    try:
+        assert trace("hot.path", unit="f") is NULL_SPAN
+        start = time.perf_counter()
+        for _ in range(100_000):
+            with trace("hot.path"):
+                pass
+        elapsed = time.perf_counter() - start
+    finally:
+        set_tracer(old)
+    # ~30 ms typical; 5 s only trips if the fast path grows real work.
+    assert elapsed < 5, f"100k disabled spans took {elapsed:.2f}s"
+
+
+def test_disabled_tracing_collects_nothing():
+    from repro.obs.trace import Tracer, set_tracer, trace
+
+    old = set_tracer(Tracer(enabled=False))
+    try:
+        with trace("a", unit="f") as span:
+            span.set(ignored=True)
+        from repro.obs.trace import get_tracer
+
+        assert get_tracer().spans == []
+    finally:
+        set_tracer(old)
+
+
 def test_happens_after_reachability_cached():
     source_lines = ["fn f(a) {"]
     for i in range(50):
