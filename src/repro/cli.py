@@ -40,16 +40,28 @@ from repro.obs import (
     render_profile,
 )
 from repro.robust import ResourceBudget, install_faults
+from repro.robust.diagnostics import STAGE_VERIFY
 
-# Exit codes:
-#   0 — clean run, no findings
-#   1 — findings reported
-#   2 — hard error (unparseable input, bad usage)
-#   3 — completed with degraded coverage (quarantines/budget exhaustion)
+# Exit codes (see EXIT_CODE_TABLE below, shown in --help and README):
 EXIT_CLEAN = 0
 EXIT_FINDINGS = 1
 EXIT_ERROR = 2
 EXIT_DEGRADED = 3
+EXIT_VERIFY = 4
+
+EXIT_CODE_TABLE = """\
+exit codes:
+  0  clean — no findings, full coverage
+  1  findings reported
+  2  hard error (unparseable input, bad usage)
+  3  degraded coverage (quarantines/budget exhaustion; findings may be
+     incomplete)
+  4  verification failure (--verify found a broken internal invariant,
+     or selfcheck missed a seeded defect / reported a safe twin)
+
+4 dominates 3 dominates 1: a run that both finds bugs and trips the
+verifier exits 4.  Gating CI on nonzero still catches every failure.
+"""
 
 CHECKERS = {
     "use-after-free": UseAfterFreeChecker,
@@ -152,6 +164,7 @@ def cmd_check(args: argparse.Namespace) -> int:
         max_call_depth=args.depth,
         use_smt=not args.no_smt,
         use_linear_filter=not args.no_linear_filter,
+        verify=args.verify,
     )
     engine = Pinpoint.from_source(
         source, config, budget=_build_budget(args), recover=not args.strict
@@ -233,12 +246,26 @@ def cmd_check(args: argparse.Namespace) -> int:
     else:
         for diag in diagnostics:
             print(f"[diagnostic] {diag}")
+    if args.dump_on_verify_fail and engine.verify_failures:
+        from repro.viz.dot import write_verify_dumps
+
+        written = write_verify_dumps(
+            args.dump_on_verify_fail, engine.verify_failures, diagnostics
+        )
+        stream = sys.stderr if (args.json or args.sarif) else sys.stdout
+        print(
+            f"[verify] dumped {len(written)} offending graph(s) to "
+            f"{args.dump_on_verify_fail}",
+            file=stream,
+        )
     _export_obs(args)
-    # Degraded coverage dominates: findings may be incomplete, and CI
-    # must distinguish "clean but partial" from "clean".  Both 1 and 3
-    # are nonzero, so gating on failures still works.
+    # Degraded coverage dominates findings: they may be incomplete, and
+    # CI must distinguish "clean but partial" from "clean".  A broken
+    # internal invariant dominates both — those findings are untrusted.
     if diagnostics:
         exit_code = EXIT_DEGRADED
+    if any(diag.stage == STAGE_VERIFY for diag in diagnostics):
+        exit_code = EXIT_VERIFY
     return exit_code
 
 
@@ -355,10 +382,67 @@ def cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_selfcheck(args: argparse.Namespace) -> int:
+    """Differential sanitizer harness: seeded synth corpus, static
+    engine with the verifier on, cross-checked against the interpreter
+    oracle (see docs/verification.md)."""
+    from repro.verify.selfcheck import parse_seed_spec, run_selfcheck
+
+    _setup_obs(args)
+    seeds = parse_seed_spec(args.seeds)
+    report = run_selfcheck(
+        seeds, lines=args.lines, mode=args.verify or "full", oracle=not args.no_oracle
+    )
+    document = report.as_dict()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+    if args.json:
+        json.dump(document, sys.stdout, indent=2)
+        print()
+    else:
+        print(
+            f"selfcheck: {len(report.outcomes)} seed(s) x {args.lines} lines, "
+            f"checker={report.checker}, verify={report.mode}, "
+            f"oracle={'on' if report.oracle else 'off'}"
+        )
+        for kind, recall in document["recall_by_kind"].items():
+            print(f"  recall {kind}: {recall:.2f}")
+        print(
+            f"  trap reports: {document['trap_reports']}  "
+            f"range-trap reports: {document['range_trap_reports']}  "
+            f"other FPs: {document['other_false_positives']}"
+        )
+        print(
+            f"  verifier violations: {document['verify_violations']}  "
+            f"oracle disagreements: {document['oracle_disagreements']}"
+        )
+        for outcome in report.outcomes:
+            if outcome.ok:
+                continue
+            problems = (
+                [f"missed {m}" for m in outcome.missed]
+                + [f"trap report {t}" for t in outcome.trap_reports]
+                + [f"oracle {o}" for o in outcome.oracle_disagreements]
+                + (
+                    [f"{outcome.verify_violations} verifier violation(s)"]
+                    if outcome.verify_violations
+                    else []
+                )
+            )
+            print(f"  seed {outcome.seed}: FAIL — {'; '.join(problems)}")
+        print(f"result: {'PASS' if report.ok else 'FAIL'}")
+    _export_obs(args)
+    return EXIT_CLEAN if report.ok else EXIT_VERIFY
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Pinpoint (PLDI 2018) reproduction: sparse value-flow analysis.",
+        epilog=EXIT_CODE_TABLE,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -453,6 +537,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="deterministic fault injection, e.g. 'prepare:foo' or 'smt*1' "
         "(also via REPRO_FAULTS; for testing the degradation paths)",
     )
+    check.add_argument(
+        "--verify",
+        default="",
+        choices=["off", "fast", "full"],
+        help="self-verification: check IR/SEG (fast) plus call interfaces "
+        "and summaries (full) after each pipeline stage; violations "
+        "quarantine the function and exit 4 (default: the REPRO_VERIFY "
+        "environment variable, else off)",
+    )
+    check.add_argument(
+        "--dump-on-verify-fail",
+        default="",
+        metavar="DIR",
+        help="write the Graphviz dot of each artifact the verifier "
+        "quarantined (CFG or SEG, with the violated rules as comments) "
+        "into this directory",
+    )
     check.set_defaults(func=cmd_check)
 
     profile = sub.add_parser(
@@ -497,6 +598,38 @@ def build_parser() -> argparse.ArgumentParser:
     cfg.add_argument("file")
     cfg.add_argument("--function", required=True)
     cfg.set_defaults(func=cmd_dump_cfg)
+
+    selfcheck = sub.add_parser(
+        "selfcheck",
+        help="differential sanitizer harness: seeded synth programs, "
+        "static results cross-checked against the interpreter oracle",
+        parents=[obs],
+    )
+    selfcheck.add_argument(
+        "--seeds",
+        default="0..19",
+        help="seed spec: comma-separated integers and inclusive a..b "
+        "ranges (default 0..19)",
+    )
+    selfcheck.add_argument(
+        "--lines", type=int, default=400, help="approximate program size per seed"
+    )
+    selfcheck.add_argument(
+        "--verify",
+        default="full",
+        choices=["off", "fast", "full"],
+        help="verification mode for the analysis runs (default full)",
+    )
+    selfcheck.add_argument(
+        "--no-oracle",
+        action="store_true",
+        help="skip the dynamic-oracle cross-check of the ground-truth labels",
+    )
+    selfcheck.add_argument("--json", action="store_true", help="JSON output")
+    selfcheck.add_argument(
+        "--out", default="", metavar="FILE", help="also write the JSON report here"
+    )
+    selfcheck.set_defaults(func=cmd_selfcheck)
 
     gen = sub.add_parser("generate", help="generate a synthetic workload")
     gen.add_argument("--lines", type=int, default=500)

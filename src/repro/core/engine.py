@@ -53,6 +53,7 @@ from repro.robust.diagnostics import (
 )
 from repro.robust.faults import fault_point
 from repro.robust.quarantine import Quarantine
+import repro.verify as verify_mod
 from repro.seg.builder import build_seg
 from repro.seg.conditions import ConditionBuilder, Constraint, TRUE_CONSTRAINT
 from repro.seg.graph import SEG, def_key, vertex_var
@@ -102,8 +103,15 @@ class EngineConfig:
     use_smt: bool = True  # ablation: path-insensitive mode when False
     max_paths_per_source: int = 64  # demand-driven search budget
     max_reports_per_function: int = 32
+    # Self-verification mode: ""/off/fast/full ("" defers to the
+    # REPRO_VERIFY environment variable at run time).
+    verify: str = ""
 
     def __post_init__(self) -> None:
+        if self.verify not in ("", "off", "fast", "full"):
+            raise ValueError(
+                f"verify must be one of off|fast|full, got {self.verify!r}"
+            )
         if self.max_call_depth < 1:
             raise ValueError(
                 f"max_call_depth must be >= 1, got {self.max_call_depth} "
@@ -221,12 +229,44 @@ class Pinpoint:
         self.budget.start()
         self.diagnostics = module.diagnostics
         self.functions: Dict[str, PinpointFunction] = {}
+        # Artifacts quarantined by the verifier — ('cfg', Function) from
+        # the IR pass, ('seg', SEG) from here — for --dump-on-verify-fail.
+        self.verify_failures: Dict[str, tuple] = dict(module.verify_failures)
+        self.verify_mode = verify_mod.resolve_mode(self.config.verify)
         start = time.perf_counter()
         for name in module.order:
             zone = Quarantine(self.diagnostics, STAGE_SEG, name)
             with zone:
                 fault_point("seg", name)
-                self.functions[name] = PinpointFunction(module[name])
+                pf = PinpointFunction(module[name])
+            if zone.tripped:
+                continue
+            if self.verify_mode != verify_mod.MODE_OFF:
+                with verify_mod.timed_verify("seg"), obs_trace(
+                    "verify.seg", unit=name
+                ):
+                    violations = verify_mod.verify_seg(pf.seg, module[name])
+                if violations:
+                    errors = verify_mod.record_violations(
+                        violations, self.diagnostics
+                    )
+                    if errors:
+                        self.verify_failures[name] = ("seg", pf.seg)
+                        continue
+            self.functions[name] = pf
+        if self.verify_mode == verify_mod.MODE_FULL:
+            with verify_mod.timed_verify("call"), obs_trace(
+                "verify.call", unit="<module>"
+            ):
+                violations = verify_mod.verify_call_interfaces(module)
+            if violations:
+                errors = verify_mod.record_violations(violations, self.diagnostics)
+                for violation in errors:
+                    dropped = self.functions.pop(violation.unit, None)
+                    if dropped is not None:
+                        self.verify_failures.setdefault(
+                            violation.unit, ("seg", dropped.seg)
+                        )
         self.seg_seconds = time.perf_counter() - start
 
     # ------------------------------------------------------------------
@@ -238,8 +278,11 @@ class Pinpoint:
         budget: Optional[ResourceBudget] = None,
         recover: bool = False,
     ) -> "Pinpoint":
+        verify = (config.verify if config is not None else "")
         return cls(
-            prepare_source(source, budget=budget, recover=recover), config, budget
+            prepare_source(source, budget=budget, recover=recover, verify=verify),
+            config,
+            budget,
         )
 
     @classmethod
@@ -251,7 +294,10 @@ class Pinpoint:
     ) -> "Pinpoint":
         from repro.core.pipeline import prepare_module
 
-        return cls(prepare_module(program, budget=budget), config, budget)
+        verify = (config.verify if config is not None else "")
+        return cls(
+            prepare_module(program, budget=budget, verify=verify), config, budget
+        )
 
     # ------------------------------------------------------------------
     def seg_size(self) -> Tuple[int, int]:
@@ -362,6 +408,7 @@ class _CheckerRun:
         self.summaries[name] = summaries
         with obs_trace("summaries.rv", unit=name):
             self._build_rv_summaries(pf, summaries)
+        lint_after = self.engine.verify_mode == verify_mod.MODE_FULL
 
         # Intrinsic source/sink specs (free, fgetc, ...) only apply to
         # *external* callees; a defined function's behaviour comes from
@@ -489,6 +536,13 @@ class _CheckerRun:
         self.stats.summaries_vf += (
             len(summaries.vf1) + len(summaries.vf2) + len(summaries.vf3) + len(summaries.vf4)
         )
+        if lint_after:
+            with verify_mod.timed_verify("summary"), obs_trace(
+                "verify.summary", unit=name
+            ):
+                lints = verify_mod.lint_summaries(summaries, pf)
+            if lints:
+                verify_mod.record_violations(lints, self.diagnostics)
 
     # ------------------------------------------------------------------
     # RV summaries

@@ -85,6 +85,10 @@ class PreparedModule:
     # module (parse recovery, per-function preparation failures).  The
     # engine folds these into every CheckResult.
     diagnostics: DiagnosticLog = field(default_factory=DiagnosticLog)
+    # Functions quarantined by the IR verifier, kept around (keyed by
+    # name, valued ('cfg', Function)) so --dump-on-verify-fail can
+    # render the offending artifact.
+    verify_failures: Dict[str, tuple] = field(default_factory=dict)
 
     def __getitem__(self, name: str) -> PreparedFunction:
         return self.functions[name]
@@ -100,6 +104,7 @@ def prepare_module(
     program: ast.Program,
     budget: Optional[ResourceBudget] = None,
     diagnostics: Optional[DiagnosticLog] = None,
+    verify: str = "",
 ) -> PreparedModule:
     """Run the preparation pipeline on a whole program.
 
@@ -107,7 +112,16 @@ def prepare_module(
     from the prepared module (recorded as a diagnostic) and its callers
     treat calls to it as opaque external calls — exactly the treatment
     same-SCC callees already get.  Nothing short of a fatal signal
-    aborts the whole module."""
+    aborts the whole module.
+
+    ``verify`` (``off``/``fast``/``full``, defaulting to the
+    ``REPRO_VERIFY`` environment variable) runs the IR verifier on each
+    prepared function; a function violating a structural invariant is
+    quarantined just like one whose preparation crashed."""
+    from repro.verify import MODE_OFF, record_violations, resolve_mode, timed_verify
+    from repro.verify.ir_verifier import verify_function_ir
+
+    verify_mode = resolve_mode(verify)
     prepared = PreparedModule()
     if diagnostics is not None:
         prepared.diagnostics = diagnostics
@@ -147,6 +161,16 @@ def prepare_module(
             result = prepare_function(func_ast, usable, linear, budget=budget)
         if zone.tripped:
             continue
+        if verify_mode != MODE_OFF:
+            with timed_verify("ir"), trace("verify.ir", unit=name):
+                violations = verify_function_ir(
+                    result.function, result.control_deps, dom=result.gates.dom
+                )
+            if violations:
+                errors = record_violations(violations, log)
+                if errors:
+                    prepared.verify_failures[name] = ("cfg", result.function)
+                    continue
         if result.points_to.degraded:
             log.record(
                 STAGE_PTA,
@@ -243,6 +267,7 @@ def prepare_source(
     budget: Optional[ResourceBudget] = None,
     diagnostics: Optional[DiagnosticLog] = None,
     recover: bool = False,
+    verify: str = "",
 ) -> PreparedModule:
     """Parse and prepare a program given as source text.
 
@@ -254,7 +279,7 @@ def prepare_source(
     if not recover:
         with trace("parse", unit="<module>"):
             program = parse_program(source)
-        return prepare_module(program, budget, diagnostics)
+        return prepare_module(program, budget, diagnostics, verify=verify)
     log = diagnostics if diagnostics is not None else DiagnosticLog()
     with trace("parse", unit="<module>") as span:
         program, errors = parse_program_tolerant(source)
@@ -267,4 +292,4 @@ def prepare_source(
             detail=error.message,
             line=error.line,
         )
-    return prepare_module(program, budget, log)
+    return prepare_module(program, budget, log, verify=verify)

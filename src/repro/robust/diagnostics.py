@@ -22,6 +22,7 @@ STAGE_PTA = "pta"
 STAGE_SEARCH = "search"
 STAGE_SMT = "smt"
 STAGE_CHECKER = "checker"
+STAGE_VERIFY = "verify"
 
 # Reasons.
 REASON_QUARANTINED = "quarantined"
@@ -29,6 +30,10 @@ REASON_PARSE_ERROR = "parse-error"
 REASON_BUDGET = "budget-exhausted"
 REASON_DEADLINE = "deadline-exceeded"
 REASON_REDUCED_PRECISION = "reduced-precision"
+# Verifier violations carry the rule id as a suffix
+# ("invariant-violation:ssa-single-def") so distinct rules on the same
+# unit never dedup-collapse into one diagnostic.
+REASON_INVARIANT = "invariant-violation"
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,145 @@
+"""Self-verification layer: machine-checked structural invariants.
+
+The analysis rests on invariants the paper states but code can silently
+break: SSA form and dominance (§3.1), SEG well-formedness (Def. 3.2),
+connector Aux pairing (Fig. 3), and summary interface hygiene (§3.3.2).
+This package checks them the way LLVM's ``-verify`` and the sanitizers
+do for compilers — structurally after each pipeline stage, and
+differentially against a dynamic oracle (:mod:`repro.verify.selfcheck`).
+
+Modes (``--verify`` / the ``REPRO_VERIFY`` environment variable):
+
+- ``off``  — no checking (the default);
+- ``fast`` — per-function IR + SEG verification after preparation and
+  SEG construction;
+- ``full`` — ``fast`` plus module-wide call-interface pairing and
+  per-run summary lints.
+
+Violations never crash the run: error-severity ones quarantine the
+offending function through :mod:`repro.robust` diagnostics (stage
+``verify``), warnings are recorded only, and both count into the
+``verify.violations`` metric by rule.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Iterable, List, Optional
+
+from repro.obs.metrics import get_registry
+from repro.robust.diagnostics import (
+    REASON_INVARIANT,
+    STAGE_VERIFY,
+    DiagnosticLog,
+)
+from repro.verify.ir_verifier import instr_defs, verify_function_ir
+from repro.verify.rules import (
+    RULES,
+    Rule,
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    severity_of,
+)
+from repro.verify.seg_verifier import verify_call_interfaces, verify_seg
+from repro.verify.summary_lints import lint_summaries
+from repro.verify.violation import Violation
+
+MODE_OFF = "off"
+MODE_FAST = "fast"
+MODE_FULL = "full"
+MODES = (MODE_OFF, MODE_FAST, MODE_FULL)
+
+
+def resolve_mode(explicit: str = "") -> str:
+    """The effective verification mode: an explicit setting wins, then
+    the ``REPRO_VERIFY`` environment variable, then ``off``."""
+    mode = (explicit or os.environ.get("REPRO_VERIFY", "")).strip().lower()
+    if not mode:
+        return MODE_OFF
+    if mode not in MODES:
+        raise ValueError(
+            f"verify mode must be one of {'|'.join(MODES)}, got {mode!r}"
+        )
+    return mode
+
+
+def record_violations(
+    violations: Iterable[Violation],
+    log: DiagnosticLog,
+    seconds: Optional[float] = None,
+    stage: str = "",
+) -> List[Violation]:
+    """Feed violations into the diagnostic log and the metrics registry;
+    returns the error-severity subset (the quarantine-worthy ones).
+
+    The rule id is encoded into the diagnostic *reason*
+    (``invariant-violation:<rule>``) so distinct rules firing on the
+    same function never dedup-collapse into one entry.
+    """
+    registry = get_registry()
+    if seconds is not None:
+        registry.counter(
+            "verify.seconds", "Time spent in the verifier (seconds)"
+        ).inc(seconds, stage=stage or "all")
+    errors: List[Violation] = []
+    for violation in violations:
+        registry.counter(
+            "verify.violations", "Structural invariant violations, by rule"
+        ).inc(rule=violation.rule)
+        log.record(
+            STAGE_VERIFY,
+            violation.unit,
+            f"{REASON_INVARIANT}:{violation.rule}",
+            detail=violation.detail,
+            line=violation.line,
+        )
+        if severity_of(violation.rule) == SEVERITY_ERROR:
+            errors.append(violation)
+    return errors
+
+
+def record_verify_seconds(seconds: float, stage: str) -> None:
+    """Count verifier wall time even when no violation fired (the
+    ``--verify=fast`` overhead guard reads this)."""
+    get_registry().counter(
+        "verify.seconds", "Time spent in the verifier (seconds)"
+    ).inc(seconds, stage=stage)
+
+
+class timed_verify:
+    """Context manager timing one verifier pass into ``verify.seconds``."""
+
+    def __init__(self, stage: str) -> None:
+        self.stage = stage
+        self._start = 0.0
+
+    def __enter__(self) -> "timed_verify":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        record_verify_seconds(time.perf_counter() - self._start, self.stage)
+
+
+__all__ = [
+    "MODES",
+    "MODE_FAST",
+    "MODE_FULL",
+    "MODE_OFF",
+    "RULES",
+    "Rule",
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "Violation",
+    "instr_defs",
+    "lint_summaries",
+    "record_verify_seconds",
+    "record_violations",
+    "resolve_mode",
+    "severity_of",
+    "timed_verify",
+    "verify_call_interfaces",
+    "verify_function_ir",
+    "verify_seg",
+]

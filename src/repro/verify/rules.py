@@ -1,0 +1,163 @@
+"""The verifier rule catalog.
+
+Each structural invariant the analysis relies on — SSA form and
+dominance (paper §3.1), SEG well-formedness (Def. 3.2), the connector
+model's Aux pairing (Fig. 3), and summary interface hygiene (§3.3.2) —
+is one named :class:`Rule`.  Rules are the unit of reporting: a
+violation carries its rule id, metrics count by rule, and the mutation
+test suite corrupts a well-formed artifact per rule to prove each one
+can fire.
+
+Severities:
+
+- ``error`` — the artifact is structurally broken; analyzing it could
+  produce arbitrary results, so the owning function is quarantined;
+- ``warning`` — the artifact is suspicious but analysis remains
+  well-defined; recorded as a diagnostic only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One named invariant, grouped by the verifier pass that checks it."""
+
+    id: str
+    stage: str  # 'ir' | 'seg' | 'summary'
+    severity: str
+    description: str
+
+
+_RULES = [
+    # -------------------------------------------------- IR verifier
+    Rule(
+        "ir-entry",
+        "ir",
+        SEVERITY_ERROR,
+        "The entry block exists and has no predecessors.",
+    ),
+    Rule(
+        "ir-terminator",
+        "ir",
+        SEVERITY_ERROR,
+        "Every block ends in exactly one terminator (Branch/Jump/Ret), "
+        "and no terminator appears mid-block.",
+    ),
+    Rule(
+        "ir-edge-symmetry",
+        "ir",
+        SEVERITY_ERROR,
+        "Successor lists match terminator targets, every target names an "
+        "existing block, and pred/succ lists are mutually consistent.",
+    ),
+    Rule(
+        "ssa-single-def",
+        "ir",
+        SEVERITY_ERROR,
+        "Every SSA variable has exactly one definition site.",
+    ),
+    Rule(
+        "ssa-dominance",
+        "ir",
+        SEVERITY_ERROR,
+        "Every use is dominated by its definition (phi operands are "
+        "checked at the corresponding predecessor block).",
+    ),
+    Rule(
+        "phi-arity",
+        "ir",
+        SEVERITY_ERROR,
+        "Phi incoming labels match the block's predecessor list.",
+    ),
+    Rule(
+        "cd-branch",
+        "ir",
+        SEVERITY_ERROR,
+        "Control-dependence entries reference existing blocks whose "
+        "terminator is a Branch.",
+    ),
+    # -------------------------------------------------- SEG verifier
+    Rule(
+        "seg-dangling-edge",
+        "seg",
+        SEVERITY_ERROR,
+        "Every data edge endpoint is a registered SEG vertex.",
+    ),
+    Rule(
+        "seg-index-symmetry",
+        "seg",
+        SEVERITY_ERROR,
+        "The out-edge and in-edge indexes list exactly the same edges.",
+    ),
+    Rule(
+        "seg-def-unresolved",
+        "seg",
+        SEVERITY_ERROR,
+        "Every def vertex names a formal parameter or an SSA variable "
+        "with a known defining statement.",
+    ),
+    Rule(
+        "seg-use-anchor",
+        "seg",
+        SEVERITY_ERROR,
+        "Use/const/op vertices are anchored at a statement the SEG "
+        "knows, and use vertices name an operand that statement reads.",
+    ),
+    Rule(
+        "seg-gate-condition",
+        "seg",
+        SEVERITY_ERROR,
+        "Control-dependence gates reference a defined SSA variable that "
+        "is the condition of some Branch terminator.",
+    ),
+    Rule(
+        "aux-pairing",
+        "seg",
+        SEVERITY_ERROR,
+        "Aux formals/returns pair with the connector signature (Fig. 3): "
+        "counts and base names match, and every Ret carries one extra "
+        "value per Aux return.",
+    ),
+    Rule(
+        "call-aux-pairing",
+        "seg",
+        SEVERITY_ERROR,
+        "Transformed call sites carry one extra receiver per callee Aux "
+        "return (same-SCC calls stay untransformed).",
+    ),
+    # -------------------------------------------------- summary lints
+    Rule(
+        "summary-interface",
+        "summary",
+        SEVERITY_WARNING,
+        "RV/VF summary constraints mention interface values (formal "
+        "parameters, incl. Aux) only.",
+    ),
+    Rule(
+        "summary-slot",
+        "summary",
+        SEVERITY_WARNING,
+        "Summary parameter/return slots index real interface slots.",
+    ),
+    Rule(
+        "summary-coherence",
+        "summary",
+        SEVERITY_WARNING,
+        "Summary paths only visit vertices of the function's current SEG "
+        "(a stale cache entry would not).",
+    ),
+]
+
+RULES: Dict[str, Rule] = {rule.id: rule for rule in _RULES}
+
+
+def severity_of(rule_id: str) -> str:
+    rule = RULES.get(rule_id)
+    return rule.severity if rule is not None else SEVERITY_ERROR

@@ -1,0 +1,107 @@
+"""Summary lints: interface hygiene for RV/VF summaries (§3.3.2).
+
+A summary is a function's externally visible contract, so everything in
+it must be phrased over the function's *interface*: constraints may
+mention formal parameters (original + Aux) only, slots must index real
+interface positions, and recorded paths must visit vertices of the
+function's current SEG — a path over vertices the SEG does not contain
+is the signature of a stale or corrupted summary cache.
+
+These are lints (severity ``warning``): a violating summary makes the
+analysis imprecise or stale, not undefined, so the function is not
+quarantined.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.summaries import (
+    FunctionSummaries,
+    interface_params,
+    return_slots,
+)
+from repro.ir.ssa import base_name
+from repro.verify.violation import Violation
+
+
+def lint_summaries(summaries: FunctionSummaries, pf) -> List[Violation]:
+    """Check one function's summaries against its PinpointFunction
+    (current SEG + prepared artifacts)."""
+    function = pf.prepared.function
+    unit = summaries.function
+    violations: List[Violation] = []
+    interface = set(interface_params(function))
+    # Constraints are phrased over SSA names; accept any version of an
+    # interface value (the paper's P sets are per-value, not per-version).
+    interface_bases = {base_name(name) for name in interface}
+    param_count = len(interface)
+    slot_count = len(return_slots(function))
+    seg_vertices = pf.seg.vertices
+
+    def check_constraint(kind: str, constraint) -> None:
+        foreign = {
+            name
+            for name in constraint.params
+            if name not in interface and base_name(name) not in interface_bases
+        }
+        if foreign:
+            violations.append(
+                Violation(
+                    "summary-interface",
+                    unit,
+                    f"{kind} constraint depends on non-interface "
+                    f"value(s) {sorted(foreign)}",
+                )
+            )
+
+    for slot, rv in summaries.rv.items():
+        if not 0 <= slot < max(slot_count, 1):
+            violations.append(
+                Violation(
+                    "summary-slot",
+                    unit,
+                    f"RV summary for return slot {slot} of a function "
+                    f"with {slot_count} slot(s)",
+                )
+            )
+        check_constraint("RV", rv.constraint)
+
+    for kind in ("vf1", "vf2", "vf3", "vf4"):
+        for summary in getattr(summaries, kind):
+            label = kind.upper()
+            check_constraint(label, summary.constraint)
+            if summary.param_slot is not None and not (
+                0 <= summary.param_slot < param_count
+            ):
+                violations.append(
+                    Violation(
+                        "summary-slot",
+                        unit,
+                        f"{label} summary starts at parameter slot "
+                        f"{summary.param_slot} of {param_count}",
+                    )
+                )
+            if summary.ret_slot is not None and not (
+                0 <= summary.ret_slot < max(slot_count, 1)
+            ):
+                violations.append(
+                    Violation(
+                        "summary-slot",
+                        unit,
+                        f"{label} summary ends at return slot "
+                        f"{summary.ret_slot} of {slot_count}",
+                    )
+                )
+            stale = [key for key in summary.path if key not in seg_vertices]
+            if stale:
+                violations.append(
+                    Violation(
+                        "summary-coherence",
+                        unit,
+                        f"{label} summary path visits {len(stale)} "
+                        f"vertex(es) absent from the current SEG, "
+                        f"e.g. {stale[0]}",
+                    )
+                )
+    return violations

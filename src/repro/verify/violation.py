@@ -1,0 +1,22 @@
+"""The violation record shared by all verifier passes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant: which rule, in which unit, and why."""
+
+    rule: str  # a key of repro.verify.rules.RULES
+    unit: str  # function name
+    detail: str = ""
+    line: int = 0
+
+    def __str__(self) -> str:
+        where = f"{self.unit}:{self.line}" if self.line else self.unit
+        text = f"{self.rule} @ {where}"
+        if self.detail:
+            text += f": {self.detail}"
+        return text

@@ -7,7 +7,8 @@ control-dependence edges to branch variables).
 
 from __future__ import annotations
 
-from typing import Dict
+import os
+from typing import Dict, Iterable, List
 
 from repro.ir import cfg
 from repro.seg.graph import SEG, VertexKey
@@ -81,6 +82,52 @@ def seg_to_dot(seg: SEG) -> str:
 
     # Control dependence: dashed edges from a representative statement
     # vertex to the governing branch variable, labeled true/false.
+    _render_control_edges(seg, lines, emit_vertex)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def write_verify_dumps(
+    directory: str,
+    failures: Dict[str, tuple],
+    diagnostics: Iterable = (),
+) -> List[str]:
+    """Dump the artifacts the verifier quarantined, one dot file each.
+
+    ``failures`` maps a function name to ``('cfg', Function)`` (IR-stage
+    failure) or ``('seg', SEG)`` (SEG-stage failure), as collected on
+    :class:`~repro.core.engine.Pinpoint`.  Each file is prefixed with
+    the function's verify diagnostics as ``//`` comments, so the graph
+    and the violated rules travel together.  Rendering a *corrupt*
+    artifact may itself fail; the dump then degrades to the comment
+    header plus the error, never raising.
+    """
+    os.makedirs(directory, exist_ok=True)
+    by_unit: Dict[str, List[str]] = {}
+    for diag in diagnostics:
+        if getattr(diag, "stage", "") == "verify":
+            by_unit.setdefault(diag.unit, []).append(str(diag))
+    written: List[str] = []
+    for name, (kind, artifact) in sorted(failures.items()):
+        header = [f"// verify failure dump for function {name!r} ({kind})"]
+        header.extend(f"// {entry}" for entry in by_unit.get(name, []))
+        try:
+            if kind == "seg":
+                body = seg_to_dot(artifact)
+            else:
+                body = cfg_to_dot(artifact)
+        except Exception as error:  # corrupt artifact: keep the header
+            body = f'digraph "{_escape(name)}" {{}}  // render failed: {error}'
+        path = os.path.join(directory, f"{name}.{kind}.dot")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(header + [body]) + "\n")
+        written.append(path)
+    return written
+
+
+def _render_control_edges(seg: SEG, lines: List[str], emit_vertex) -> None:
+    # Control dependence: dashed edges from a representative statement
+    # vertex to the governing branch variable, labeled true/false.
     for stmt_uid, controls in seg.control.items():
         instr = seg.instr_by_uid.get(stmt_uid)
         if instr is None:
@@ -101,5 +148,3 @@ def seg_to_dot(seg: SEG) -> str:
                 f'  "{src_id}" -> "{dst_id}" '
                 f'[style=dashed, label="{"true" if taken else "false"}"];'
             )
-    lines.append("}")
-    return "\n".join(lines)

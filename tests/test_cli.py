@@ -236,3 +236,110 @@ def test_obs_state_does_not_leak_between_runs(uaf_file, tmp_path, capsys):
     assert get_tracer().enabled is False
     assert get_tracer().spans == []
     assert get_registry().counter("smt.queries").total() <= first
+
+
+# ----------------------------------------------------------------------
+# Verification: --verify, exit code 4, --dump-on-verify-fail, selfcheck
+# ----------------------------------------------------------------------
+def test_check_verify_clean_run_keeps_exit_code(clean_file, uaf_file):
+    assert main(["check", clean_file, "--verify", "full"]) == 0
+    assert main(["check", uaf_file, "--verify", "full"]) == 1
+
+
+def test_check_verify_failure_exits_four(clean_file, monkeypatch, capsys):
+    from repro.verify import Violation
+
+    monkeypatch.setattr(
+        "repro.verify.verify_seg",
+        lambda seg, prepared: [
+            Violation("seg-dangling-edge", prepared.name, "injected")
+        ],
+    )
+    code = main(["check", clean_file, "--verify", "fast"])
+    assert code == 4
+    out = capsys.readouterr().out
+    assert "invariant-violation:seg-dangling-edge" in out
+
+
+def test_check_dump_on_verify_fail(clean_file, tmp_path, monkeypatch):
+    from repro.verify import Violation
+
+    monkeypatch.setattr(
+        "repro.verify.verify_seg",
+        lambda seg, prepared: [
+            Violation("seg-dangling-edge", prepared.name, "injected")
+        ],
+    )
+    dump_dir = tmp_path / "dumps"
+    code = main(
+        [
+            "check",
+            clean_file,
+            "--verify",
+            "fast",
+            "--dump-on-verify-fail",
+            str(dump_dir),
+        ]
+    )
+    assert code == 4
+    dumped = dump_dir / "main.seg.dot"
+    assert dumped.exists()
+    text = dumped.read_text()
+    assert text.startswith("// verify failure dump")
+    assert "seg-dangling-edge" in text
+    assert "digraph" in text
+
+
+def test_check_no_dump_dir_without_failures(clean_file, tmp_path):
+    dump_dir = tmp_path / "dumps"
+    code = main(
+        [
+            "check",
+            clean_file,
+            "--verify",
+            "full",
+            "--dump-on-verify-fail",
+            str(dump_dir),
+        ]
+    )
+    assert code == 0
+    assert not dump_dir.exists()
+
+
+def test_help_epilog_documents_exit_codes():
+    from repro.cli import build_parser
+
+    text = build_parser().format_help()
+    assert "exit codes:" in text
+    assert "verification failure" in text
+    assert "degraded" in text
+
+
+def test_selfcheck_end_to_end(tmp_path, capsys):
+    out_file = tmp_path / "selfcheck.json"
+    code = main(
+        ["selfcheck", "--seeds", "3", "--lines", "250", "--out", str(out_file)]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "result: PASS" in out
+    document = json.loads(out_file.read_text())
+    assert document["ok"] is True
+    assert all(v == 1.0 for v in document["recall_by_kind"].values())
+    assert document["trap_reports"] == 0
+
+
+def test_selfcheck_json_mode(capsys):
+    code = main(
+        ["selfcheck", "--seeds", "4", "--lines", "250", "--no-oracle", "--json"]
+    )
+    assert code == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["ok"] is True
+    assert document["oracle"] is False
+    assert document["seeds"][0]["seed"] == 4
+
+
+def test_selfcheck_bad_seed_spec_is_an_error(capsys):
+    code = main(["selfcheck", "--seeds", "9..2"])
+    assert code == 2

@@ -1,0 +1,113 @@
+"""Edge-case tests for the interpreter as a *differential oracle*.
+
+``repro selfcheck`` trusts the interpreter's verdicts, so the corners
+the harness leans on get pinned here: dangling-integer memory access,
+null-pointer loads, free() of non-pointers, step-limit exhaustion, and
+the external-call hook defaults.
+"""
+
+import pytest
+
+from repro.lang.interp import (
+    Interpreter,
+    MemoryError_,
+    StepLimitExceeded,
+    run_function,
+)
+from repro.lang.parser import parse_program
+
+
+# ----------------------------------------------------------------------
+# Dangling-integer and null-pointer accesses
+# ----------------------------------------------------------------------
+def test_store_through_integer_is_null_deref():
+    interp = run_function(
+        "fn f() { p = 7; *p = 1; return 0; }", "f", halt_on_violation=False
+    )
+    assert [v.kind for v in interp.violations] == ["null-deref"]
+    assert "dereferencing integer 7" in str(interp.violations[0])
+
+
+def test_load_through_null_is_null_deref():
+    interp = run_function(
+        "fn f() { p = 0; x = *p; return x; }", "f", halt_on_violation=False
+    )
+    assert [v.kind for v in interp.violations] == ["null-deref"]
+
+
+def test_null_deref_halts_when_asked():
+    program = parse_program("fn f() { p = 0; x = *p; return x; }")
+    interp = Interpreter(program, halt_on_violation=True)
+    with pytest.raises(MemoryError_) as excinfo:
+        interp.call("f")
+    assert excinfo.value.kind == "null-deref"
+
+
+def test_failed_load_yields_zero_and_execution_continues():
+    # With halt_on_violation=False a bad load produces 0, so the rest of
+    # the function still runs — the oracle can collect *all* violations.
+    interp = run_function(
+        "fn f() { p = 7; x = *p; q = 0; y = *q; return x + y; }",
+        "f",
+        halt_on_violation=False,
+    )
+    assert [v.kind for v in interp.violations] == ["null-deref", "null-deref"]
+
+
+def test_free_of_integer_is_bad_free_but_free_null_is_noop():
+    interp = run_function(
+        "fn f() { free(3); free(0); return 0; }", "f", halt_on_violation=False
+    )
+    assert [v.kind for v in interp.violations] == ["bad-free"]
+
+
+# ----------------------------------------------------------------------
+# Step-limit exhaustion
+# ----------------------------------------------------------------------
+def test_step_limit_propagates_through_run_function():
+    # run_function swallows MemoryError_ only; an infinite loop must
+    # surface as StepLimitExceeded so selfcheck can treat it as
+    # "no verdict" rather than "ran clean".
+    with pytest.raises(StepLimitExceeded):
+        run_function(
+            "fn f() { while (1 > 0) { x = 1; } return 0; }",
+            "f",
+            step_limit=200,
+        )
+
+
+def test_step_limit_bounds_recursion():
+    program = parse_program("fn f(n) { return f(n + 1); }")
+    interp = Interpreter(program, step_limit=500)
+    with pytest.raises(StepLimitExceeded):
+        interp.call("f", 0)
+
+
+# ----------------------------------------------------------------------
+# External-call hooks
+# ----------------------------------------------------------------------
+def test_unknown_external_call_defaults_to_zero():
+    program = parse_program("fn f() { x = mystery(); return x + 1; }")
+    assert Interpreter(program).call("f") == 1
+
+
+def test_unknown_external_call_still_evaluates_arguments():
+    # Argument expressions must run even for unmodeled callees: a
+    # use-after-free inside an argument is a real violation.
+    interp = run_function(
+        "fn f() { p = malloc(); free(p); mystery(*p); return 0; }",
+        "f",
+        halt_on_violation=False,
+    )
+    assert [v.kind for v in interp.violations] == ["use-after-free"]
+
+
+def test_external_hook_overrides_default():
+    program = parse_program("fn f(a) { return mystery(a); }")
+    interp = Interpreter(program, external={"mystery": lambda a: a * 2})
+    assert interp.call("f", 21) == 42
+
+
+def test_missing_arguments_pad_with_zero():
+    program = parse_program("fn f(a, b) { return a + b; }")
+    assert Interpreter(program).call("f", 5) == 5

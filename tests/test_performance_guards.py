@@ -114,3 +114,30 @@ def test_happens_after_reachability_cached():
     )
     assert len(result) == 1
     assert time.perf_counter() - start < 20
+
+
+def test_verify_fast_overhead_under_ten_percent():
+    # --verify=fast must stay a cheap structural sweep: its recorded
+    # wall time (the verify.seconds counter) is bounded to <10% of the
+    # whole analysis on a 1k-line program.
+    from repro import EngineConfig
+    from repro.obs.metrics import MetricsRegistry, get_registry, set_registry
+
+    program = generate_program(GeneratorConfig(seed=99, target_lines=1000))
+    old = get_registry()
+    set_registry(MetricsRegistry())
+    try:
+        start = time.perf_counter()
+        engine = Pinpoint.from_source(
+            program.source, EngineConfig(verify="fast")
+        )
+        engine.check(UseAfterFreeChecker())
+        elapsed = time.perf_counter() - start
+        verify_seconds = get_registry().counter("verify.seconds").total()
+    finally:
+        set_registry(old)
+    assert verify_seconds > 0, "fast mode should have run the verifier"
+    assert verify_seconds < 0.10 * elapsed, (
+        f"verifier took {verify_seconds:.3f}s of {elapsed:.3f}s "
+        f"({100 * verify_seconds / elapsed:.1f}%)"
+    )
