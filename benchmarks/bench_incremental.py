@@ -66,3 +66,87 @@ def test_cold_analysis_benchmark(benchmark):
         return IncrementalAnalyzer().analyze(program.source)
 
     benchmark(cold)
+
+
+def test_disk_cache_cold_vs_warm(record_result, results_dir, tmp_path):
+    """Persistent artifact store: a warm run must skip ~all preparation."""
+    import json
+
+    from repro.cache.store import SummaryStore
+    from repro.core.pipeline import prepare_source
+    from repro.obs.metrics import MetricsRegistry, get_registry, set_registry
+
+    program = subject_program("vim")
+    store = SummaryStore(str(tmp_path / "cache"))
+
+    def run():
+        set_registry(MetricsRegistry())
+        _, seconds = time_only(lambda: prepare_source(program.source, store=store))
+        registry = get_registry()
+        return {
+            "seconds": seconds,
+            "hits": registry.counter("cache.hits").total(),
+            "misses": registry.counter("cache.misses").total(),
+        }
+
+    cold = run()
+    warm = run()
+    lookups = warm["hits"] + warm["misses"]
+    hit_rate = warm["hits"] / max(lookups, 1)
+
+    payload = {
+        "subject": "vim",
+        "cold": cold,
+        "warm": warm,
+        "warm_hit_rate": hit_rate,
+        "speedup": cold["seconds"] / max(warm["seconds"], 1e-9),
+    }
+    (results_dir / "cache_cold_vs_warm.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    rows = [
+        ("cold", f"{cold['seconds']:.2f}", int(cold["hits"]), int(cold["misses"])),
+        ("warm", f"{warm['seconds']:.2f}", int(warm["hits"]), int(warm["misses"])),
+    ]
+    table = render_table(["run", "time (s)", "cache hits", "cache misses"], rows)
+    table += f"\n\nwarm hit rate: {hit_rate:.0%}, speedup: {payload['speedup']:.1f}x"
+    record_result(table, "cache_cold_vs_warm")
+
+    assert cold["hits"] == 0
+    assert hit_rate >= 0.9
+    assert warm["seconds"] < cold["seconds"]
+
+
+def test_parallel_scaling_serial_vs_jobs(record_result, results_dir):
+    """Wave-scheduler scaling: wall-clock of --jobs 1 vs --jobs 4.
+
+    Synthetic subjects at bench scale are small, so this measures
+    overhead + scaling shape rather than big speedups; the JSON artifact
+    keeps the curve comparable across revisions.
+    """
+    import json
+
+    from repro.core.pipeline import prepare_source
+
+    program = subject_program("git")
+    series = []
+    for jobs in (1, 2, 4):
+        _, seconds = time_only(lambda: prepare_source(program.source, jobs=jobs))
+        series.append({"jobs": jobs, "seconds": seconds})
+
+    serial = series[0]["seconds"]
+    for point in series:
+        point["speedup"] = serial / max(point["seconds"], 1e-9)
+
+    (results_dir / "parallel_scaling.json").write_text(
+        json.dumps({"subject": "git", "series": series}, indent=2) + "\n"
+    )
+    rows = [
+        (str(p["jobs"]), f"{p['seconds']:.2f}", f"{p['speedup']:.2f}x")
+        for p in series
+    ]
+    record_result(
+        render_table(["jobs", "time (s)", "speedup"], rows), "parallel_scaling"
+    )
+
+    assert all(p["seconds"] > 0 for p in series)

@@ -167,7 +167,13 @@ def cmd_check(args: argparse.Namespace) -> int:
         verify=args.verify,
     )
     engine = Pinpoint.from_source(
-        source, config, budget=_build_budget(args), recover=not args.strict
+        source,
+        config,
+        budget=_build_budget(args),
+        recover=not args.strict,
+        jobs=args.jobs or None,
+        cache_dir=args.cache_dir or None,
+        worker_timeout=args.worker_timeout,
     )
     names = list(CHECKERS) if args.all else [args.checker]
     baseline = None
@@ -283,7 +289,13 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
     def analyze():
         engine = Pinpoint.from_source(
-            source, config, budget=_build_budget(args), recover=True
+            source,
+            config,
+            budget=_build_budget(args),
+            recover=True,
+            jobs=args.jobs or None,
+            cache_dir=args.cache_dir or None,
+            worker_timeout=args.worker_timeout,
         )
         return [engine.check(CHECKERS[name]()) for name in names]
 
@@ -340,7 +352,9 @@ def cmd_dump_seg(args: argparse.Namespace) -> int:
     from repro.viz.dot import seg_to_dot
 
     source = _read(args.file)
-    engine = Pinpoint.from_source(source)
+    engine = Pinpoint.from_source(
+        source, jobs=args.jobs or None, cache_dir=args.cache_dir or None
+    )
     if args.function not in engine.functions:
         print(f"no such function: {args.function}", file=sys.stderr)
         return 2
@@ -352,12 +366,83 @@ def cmd_dump_cfg(args: argparse.Namespace) -> int:
     from repro.viz.dot import cfg_to_dot
 
     source = _read(args.file)
-    engine = Pinpoint.from_source(source)
+    engine = Pinpoint.from_source(
+        source, jobs=args.jobs or None, cache_dir=args.cache_dir or None
+    )
     if args.function not in engine.functions:
         print(f"no such function: {args.function}", file=sys.stderr)
         return 2
     print(cfg_to_dot(engine.functions[args.function].prepared.function))
     return 0
+
+
+def _open_cache(args: argparse.Namespace):
+    """The store named by --cache-dir / REPRO_CACHE_DIR, or None (after
+    printing a usage error)."""
+    from repro.cache import open_store, resolve_cache_dir
+
+    resolved = resolve_cache_dir(args.cache_dir)
+    if not resolved:
+        print(
+            "error: no cache directory (pass --cache-dir or set "
+            "REPRO_CACHE_DIR)",
+            file=sys.stderr,
+        )
+        return None
+    return open_store(resolved)
+
+
+def cmd_cache_stats(args: argparse.Namespace) -> int:
+    store = _open_cache(args)
+    if store is None:
+        return EXIT_ERROR
+    data = store.stats()
+    if args.json:
+        json.dump(data, sys.stdout, indent=2)
+        print()
+    else:
+        print(f"cache root:      {data['root']}")
+        print(f"schema version:  v{data['schema_version']}")
+        print(f"entries:         {data['entries']}")
+        print(f"bytes on disk:   {data['bytes']}")
+        if data["pruned_stale_versions"]:
+            print(f"stale entries pruned on open: {data['pruned_stale_versions']}")
+    return EXIT_CLEAN
+
+
+def cmd_cache_clear(args: argparse.Namespace) -> int:
+    store = _open_cache(args)
+    if store is None:
+        return EXIT_ERROR
+    removed = store.clear()
+    print(f"removed {removed} cached artifact(s) from {store.root}")
+    return EXIT_CLEAN
+
+
+def cmd_cache_warm(args: argparse.Namespace) -> int:
+    """Prepare (and persist) every function of a program without running
+    any checker — so the next `repro check --cache-dir ...` starts hot."""
+    from repro.core.pipeline import prepare_source
+    from repro.obs import MetricsRegistry, Tracer, set_registry, set_tracer
+    from repro.sched import resolve_jobs
+
+    store = _open_cache(args)
+    if store is None:
+        return EXIT_ERROR
+    set_registry(MetricsRegistry())
+    set_tracer(Tracer())
+    source = _read(args.file)
+    module = prepare_source(
+        source, recover=True, jobs=resolve_jobs(args.jobs or None), store=store
+    )
+    registry = get_registry()
+    hits = int(registry.counter("cache.hits").total())
+    writes = int(registry.counter("cache.writes").total())
+    print(
+        f"warmed {len(module.functions)} function(s): "
+        f"{hits} already cached, {writes} newly written"
+    )
+    return EXIT_CLEAN
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -391,7 +476,12 @@ def cmd_selfcheck(args: argparse.Namespace) -> int:
     _setup_obs(args)
     seeds = parse_seed_spec(args.seeds)
     report = run_selfcheck(
-        seeds, lines=args.lines, mode=args.verify or "full", oracle=not args.no_oracle
+        seeds,
+        lines=args.lines,
+        mode=args.verify or "full",
+        oracle=not args.no_oracle,
+        jobs=args.jobs or None,
+        cache_dir=args.cache_dir or None,
     )
     document = report.as_dict()
     if args.out:
@@ -475,8 +565,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit log records as JSON lines (implies logging enabled)",
     )
 
+    # Flags shared by every analysis-running subcommand: the parallel
+    # wave scheduler and the persistent artifact cache (repro.sched /
+    # repro.cache).  Reports are byte-identical whatever the job count
+    # or cache state.
+    par = argparse.ArgumentParser(add_help=False)
+    par.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        metavar="N",
+        help="prepare call-graph waves on N worker processes (default: "
+        "the REPRO_JOBS environment variable, else 1 = serial)",
+    )
+    par.add_argument(
+        "--cache-dir",
+        default="",
+        metavar="DIR",
+        help="persist per-function artifacts here and reuse them across "
+        "runs (default: the REPRO_CACHE_DIR environment variable, else "
+        "off); see also the 'cache' subcommand",
+    )
+    par.add_argument(
+        "--worker-timeout",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="per-function ceiling for worker tasks under --jobs; a task "
+        "past it is quarantined (exit 3) and its worker abandoned",
+    )
+
     check = sub.add_parser(
-        "check", help="statically check a program", parents=[obs]
+        "check", help="statically check a program", parents=[obs, par]
     )
     check.add_argument("file", help="program file ('-' for stdin)")
     check.add_argument(
@@ -559,7 +679,7 @@ def build_parser() -> argparse.ArgumentParser:
     profile = sub.add_parser(
         "profile",
         help="run the checkers and print the hottest passes/functions",
-        parents=[obs],
+        parents=[obs, par],
     )
     profile.add_argument("file", help="program file ('-' for stdin)")
     profile.add_argument(
@@ -589,21 +709,61 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.set_defaults(func=cmd_run)
 
-    seg = sub.add_parser("dump-seg", help="print a function's SEG as Graphviz dot")
+    seg = sub.add_parser(
+        "dump-seg",
+        help="print a function's SEG as Graphviz dot",
+        parents=[par],
+    )
     seg.add_argument("file")
     seg.add_argument("--function", required=True)
     seg.set_defaults(func=cmd_dump_seg)
 
-    cfg = sub.add_parser("dump-cfg", help="print a function's CFG as Graphviz dot")
+    cfg = sub.add_parser(
+        "dump-cfg",
+        help="print a function's CFG as Graphviz dot",
+        parents=[par],
+    )
     cfg.add_argument("file")
     cfg.add_argument("--function", required=True)
     cfg.set_defaults(func=cmd_dump_cfg)
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect or manage the on-disk artifact cache (--cache-dir)",
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_dir_help = (
+        "the cache directory (default: the REPRO_CACHE_DIR environment "
+        "variable)"
+    )
+    cache_stats = cache_sub.add_parser(
+        "stats", help="print entry count, bytes on disk, and schema version"
+    )
+    cache_stats.add_argument("--cache-dir", default="", metavar="DIR", help=cache_dir_help)
+    cache_stats.add_argument("--json", action="store_true", help="JSON output")
+    cache_stats.set_defaults(func=cmd_cache_stats)
+    cache_clear = cache_sub.add_parser(
+        "clear", help="remove every cached artifact (all schema versions)"
+    )
+    cache_clear.add_argument("--cache-dir", default="", metavar="DIR", help=cache_dir_help)
+    cache_clear.set_defaults(func=cmd_cache_clear)
+    cache_warm = cache_sub.add_parser(
+        "warm",
+        help="prepare a program into the cache without running checkers",
+    )
+    cache_warm.add_argument("file", help="program file ('-' for stdin)")
+    cache_warm.add_argument("--cache-dir", default="", metavar="DIR", help=cache_dir_help)
+    cache_warm.add_argument(
+        "--jobs", type=int, default=0, metavar="N",
+        help="worker processes for the warm-up (default REPRO_JOBS, else 1)",
+    )
+    cache_warm.set_defaults(func=cmd_cache_warm)
 
     selfcheck = sub.add_parser(
         "selfcheck",
         help="differential sanitizer harness: seeded synth programs, "
         "static results cross-checked against the interpreter oracle",
-        parents=[obs],
+        parents=[obs, par],
     )
     selfcheck.add_argument(
         "--seeds",

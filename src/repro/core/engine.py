@@ -161,9 +161,11 @@ class _Origin:
 class PinpointFunction:
     """Per-function analysis state: SEG + condition builder + dominance."""
 
-    def __init__(self, prepared: PreparedFunction) -> None:
+    def __init__(self, prepared: PreparedFunction, seg: Optional[SEG] = None) -> None:
         self.prepared = prepared
-        self.seg: SEG = build_seg(prepared)
+        # A prebuilt SEG (scheduler worker or artifact cache) is adopted
+        # as-is; build_seg is deterministic, so both paths agree.
+        self.seg: SEG = seg if seg is not None else build_seg(prepared)
         self.conditions = ConditionBuilder(self.seg, prepared.function)
         self.dom = dominators(prepared.function)
         # Statement uid -> (block label, index) for happens-after checks.
@@ -237,8 +239,11 @@ class Pinpoint:
         for name in module.order:
             zone = Quarantine(self.diagnostics, STAGE_SEG, name)
             with zone:
+                # The fault point fires even with a prebuilt SEG so
+                # injected `seg` faults behave identically under
+                # --jobs N / --cache-dir.
                 fault_point("seg", name)
-                pf = PinpointFunction(module[name])
+                pf = PinpointFunction(module[name], seg=module.segs.get(name))
             if zone.tripped:
                 continue
             if self.verify_mode != verify_mod.MODE_OFF:
@@ -277,10 +282,33 @@ class Pinpoint:
         config: Optional[EngineConfig] = None,
         budget: Optional[ResourceBudget] = None,
         recover: bool = False,
+        jobs: Optional[int] = None,
+        cache_dir: Optional[str] = None,
+        worker_timeout: float = 0.0,
     ) -> "Pinpoint":
+        """Parse, prepare and index a program.
+
+        ``jobs > 1`` prepares call-graph waves on a process pool;
+        ``cache_dir`` persists per-function artifacts across runs.
+        When either is left unset, the ``REPRO_JOBS`` /
+        ``REPRO_CACHE_DIR`` environment variables apply (an explicit
+        ``jobs=1`` wins over the environment).  Reports are
+        byte-identical to a serial, uncached run."""
+        from repro.cache import open_store
+        from repro.sched import resolve_jobs
+
         verify = (config.verify if config is not None else "")
+        store = open_store(cache_dir)
         return cls(
-            prepare_source(source, budget=budget, recover=recover, verify=verify),
+            prepare_source(
+                source,
+                budget=budget,
+                recover=recover,
+                verify=verify,
+                jobs=resolve_jobs(jobs),
+                store=store,
+                worker_timeout=worker_timeout,
+            ),
             config,
             budget,
         )

@@ -18,10 +18,10 @@ while a body-only edit re-analyzes just the one function.
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
+from repro.cache.keys import key_digest, prepare_cache_key
 from repro.core.engine import EngineConfig, Pinpoint
 from repro.core.pipeline import (
     PreparedFunction,
@@ -34,23 +34,7 @@ from repro.lang import ast
 from repro.lang.parser import parse_program
 from repro.obs.metrics import get_registry
 from repro.obs.trace import trace
-from repro.lang.pretty import pretty_function
 from repro.transform.connectors import ConnectorSignature
-
-
-def _signature_fingerprint(signature: ConnectorSignature) -> Tuple:
-    return (
-        tuple(signature.params),
-        tuple(signature.aux_params),
-        tuple(signature.aux_returns),
-    )
-
-
-def _ast_fingerprint(func_ast: ast.FuncDef) -> str:
-    # The pretty-printed body is a stable structural hash input
-    # (whitespace/comment changes do not invalidate the cache).
-    text = pretty_function(func_ast)
-    return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
 @dataclass
@@ -70,10 +54,20 @@ class _CacheEntry:
 
 
 class IncrementalAnalyzer:
-    """Analyzes successive versions of a program, reusing artifacts."""
+    """Analyzes successive versions of a program, reusing artifacts.
 
-    def __init__(self, config: Optional[EngineConfig] = None) -> None:
+    ``store`` (a :class:`repro.cache.SummaryStore`) adds a second,
+    persistent tier: artifacts missing from the in-memory cache are
+    looked up on disk before being recomputed, and fresh computations
+    are written back, so a brand-new analyzer warm-starts from a cache
+    directory populated by a previous process.
+    """
+
+    def __init__(
+        self, config: Optional[EngineConfig] = None, store=None
+    ) -> None:
         self.config = config
+        self.store = store
         self._cache: Dict[str, _CacheEntry] = {}
         self.last_stats = IncrementalStats()
 
@@ -106,20 +100,8 @@ class IncrementalAnalyzer:
                 for callee, sig in signatures.items()
                 if scc_of.get(callee) != scc_of.get(name)
             }
-            # Only the signatures of functions this one actually calls
-            # participate in its cache key; unrelated additions elsewhere
-            # in the program must not invalidate it.
             own_callees = callgraph.callees.get(name, set())
-            key = (
-                _ast_fingerprint(func_ast),
-                tuple(
-                    sorted(
-                        (callee, _signature_fingerprint(sig))
-                        for callee, sig in usable.items()
-                        if callee in own_callees
-                    )
-                ),
-            )
+            key = prepare_cache_key(func_ast, usable, own_callees)
             cached = self._cache.get(name)
             registry = get_registry()
             if cached is not None and cached.key == key:
@@ -130,13 +112,31 @@ class IncrementalAnalyzer:
                     "Incremental runs reusing a function's prepared artifacts",
                 ).inc()
             else:
-                with trace("prepare.fn", unit=name, incremental=True):
-                    result = prepare_function(func_ast, usable, prepared.linear)
-                stats.analyzed += 1
-                registry.counter(
-                    "engine.prepare_cache.miss",
-                    "Incremental runs re-preparing a function",
-                ).inc()
+                result = None
+                if self.store is not None:
+                    entry = self.store.get(key_digest(key))
+                    if entry is not None:
+                        _stored_name, result, seg = entry
+                        if seg is not None:
+                            prepared.segs[name] = seg
+                        stats.reused += 1
+                        registry.counter(
+                            "engine.prepare_cache.hit",
+                            "Incremental runs reusing a function's"
+                            " prepared artifacts",
+                        ).inc()
+                if result is None:
+                    with trace("prepare.fn", unit=name, incremental=True):
+                        result = prepare_function(
+                            func_ast, usable, prepared.linear
+                        )
+                    stats.analyzed += 1
+                    registry.counter(
+                        "engine.prepare_cache.miss",
+                        "Incremental runs re-preparing a function",
+                    ).inc()
+                    if self.store is not None:
+                        self.store.put(key_digest(key), name, result)
             next_cache[name] = _CacheEntry(key, result)
             signatures[name] = result.signature
             prepared.functions[name] = result

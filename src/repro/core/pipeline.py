@@ -89,6 +89,10 @@ class PreparedModule:
     # name, valued ('cfg', Function)) so --dump-on-verify-fail can
     # render the offending artifact.
     verify_failures: Dict[str, tuple] = field(default_factory=dict)
+    # SEGs built ahead of the engine (by scheduler workers or loaded
+    # from the on-disk artifact cache).  The engine consumes these
+    # instead of rebuilding; absence just means "build it yourself".
+    segs: Dict[str, object] = field(default_factory=dict)
 
     def __getitem__(self, name: str) -> PreparedFunction:
         return self.functions[name]
@@ -203,21 +207,29 @@ def prepare_function(
 
     linear = linear or LinearSolver()
 
-    # Throwaway copy for Mod/Ref.
-    scratch = lower_function(func_ast)
-    transform_call_sites(scratch, usable_signatures)
-    to_ssa(scratch)
-    modref = compute_modref(scratch, linear=linear)
+    # Per-function uid scope: instruction uids (and the loop-gate
+    # variable names and SEG vertex identities derived from them) must
+    # not depend on which process, or in what order, prepared this
+    # function — that is what makes parallel and cache-warmed runs
+    # byte-identical to serial ones.
+    with cfg.scoped_uids():
+        # Throwaway copy for Mod/Ref.
+        scratch = lower_function(func_ast)
+        transform_call_sites(scratch, usable_signatures)
+        to_ssa(scratch)
+        modref = compute_modref(scratch, linear=linear)
 
-    # The real function: transform call sites + own interface, SSA.
-    function = lower_function(func_ast)
-    transform_call_sites(function, usable_signatures)
-    signature = transform_function_interface(function, modref)
-    to_ssa(function)
+        # The real function: transform call sites + own interface, SSA.
+        function = lower_function(func_ast)
+        transform_call_sites(function, usable_signatures)
+        signature = transform_function_interface(function, modref)
+        to_ssa(function)
 
-    gates = GateInfo(function)
-    analysis = PointsToAnalysis(function, gates=gates, linear=linear, budget=budget)
-    points_to = analysis.run()
+        gates = GateInfo(function)
+        analysis = PointsToAnalysis(
+            function, gates=gates, linear=linear, budget=budget
+        )
+        points_to = analysis.run()
     return PreparedFunction(
         name=func_ast.name,
         function=function,
@@ -268,18 +280,28 @@ def prepare_source(
     diagnostics: Optional[DiagnosticLog] = None,
     recover: bool = False,
     verify: str = "",
+    jobs: int = 1,
+    store=None,
+    worker_timeout: float = 0.0,
 ) -> PreparedModule:
     """Parse and prepare a program given as source text.
 
     With ``recover=True`` the parser quarantines malformed functions
     (recorded as ``parse`` diagnostics) instead of failing the whole
-    program; input in which *nothing* parses still raises."""
+    program; input in which *nothing* parses still raises.
+
+    ``jobs > 1`` prepares call-graph waves on a process pool and
+    ``store`` (a :class:`repro.cache.SummaryStore`) persists/loads
+    per-function artifacts; both route through the wave scheduler,
+    which guarantees results identical to the serial path."""
     if budget is not None:
         budget.start()
     if not recover:
         with trace("parse", unit="<module>"):
             program = parse_program(source)
-        return prepare_module(program, budget, diagnostics, verify=verify)
+        return _prepare(
+            program, budget, diagnostics, verify, jobs, store, worker_timeout
+        )
     log = diagnostics if diagnostics is not None else DiagnosticLog()
     with trace("parse", unit="<module>") as span:
         program, errors = parse_program_tolerant(source)
@@ -292,4 +314,30 @@ def prepare_source(
             detail=error.message,
             line=error.line,
         )
-    return prepare_module(program, budget, log, verify=verify)
+    return _prepare(program, budget, log, verify, jobs, store, worker_timeout)
+
+
+def _prepare(
+    program: ast.Program,
+    budget: Optional[ResourceBudget],
+    diagnostics: Optional[DiagnosticLog],
+    verify: str,
+    jobs: int,
+    store,
+    worker_timeout: float,
+) -> PreparedModule:
+    """Serial pipeline, or the wave scheduler when parallelism or the
+    artifact cache is requested."""
+    if jobs and jobs > 1 or store is not None:
+        from repro.sched.scheduler import prepare_program
+
+        return prepare_program(
+            program,
+            jobs=jobs or 1,
+            budget=budget,
+            diagnostics=diagnostics,
+            verify=verify,
+            store=store,
+            worker_timeout=worker_timeout,
+        )
+    return prepare_module(program, budget, diagnostics, verify=verify)

@@ -24,14 +24,43 @@ statement identity ``s`` in SEG vertices ``v@s``.
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 _UID = itertools.count(1)
+_SCOPED: Optional["itertools.count"] = None
 
 
 def fresh_uid() -> int:
+    if _SCOPED is not None:
+        return next(_SCOPED)
     return next(_UID)
+
+
+@contextlib.contextmanager
+def scoped_uids(start: int = 1):
+    """Allocate uids from a fresh local counter inside the block.
+
+    Per-function preparation runs under this scope so a function's
+    instruction uids depend only on its own lowering sequence — not on
+    which process (or in what order) prepared it.  Uid-derived names
+    (``loop.<uid>.<pred>`` gate variables, SEG vertex identities) then
+    come out identical in serial, parallel, and cache-warmed runs.
+
+    Uids stay unique *within* a function; across functions they may
+    collide, which the engine tolerates by construction: uids key only
+    per-function structures (SEG vertices, positions, call sites), and
+    conditions crossing a call boundary are context-renamed.  Nesting is
+    not reentrant — the scope is per prepared function.
+    """
+    global _SCOPED
+    previous = _SCOPED
+    _SCOPED = itertools.count(start)
+    try:
+        yield
+    finally:
+        _SCOPED = previous
 
 
 class Var:

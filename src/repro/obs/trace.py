@@ -147,6 +147,36 @@ class Tracer:
         with self._lock:
             self.spans = []
 
+    def absorb(self, spans: List[Span]) -> None:
+        """Adopt spans recorded by another tracer (a worker process).
+
+        Uids are remapped onto this tracer's sequence — preserving
+        parent links within the absorbed batch — so absorbed spans can
+        never collide with locally recorded ones.  Start offsets are
+        kept as-is: worker clocks share the parent's origin under
+        ``fork``, and Chrome trace rendering tolerates small skews.
+        """
+        if not spans:
+            return
+        with self._lock:
+            remap: Dict[int, int] = {}
+            for span in spans:
+                self._uid += 1
+                remap[span.uid] = self._uid
+            for span in spans:
+                self.spans.append(
+                    Span(
+                        uid=remap[span.uid],
+                        name=span.name,
+                        start=span.start,
+                        duration=span.duration,
+                        unit=span.unit,
+                        thread_id=span.thread_id,
+                        parent=remap.get(span.parent) if span.parent else None,
+                        args=dict(span.args),
+                    )
+                )
+
     # ------------------------------------------------------------------
     def _stack(self) -> List[int]:
         stack = getattr(self._local, "stack", None)

@@ -32,7 +32,10 @@ from typing import Dict, List, Optional, Tuple
 ENV_VAR = "REPRO_FAULTS"
 
 #: The recognised injection sites, for validation and documentation.
-SITES = ("parse", "prepare", "seg", "smt")
+#: ``sched`` is special: it is consumed inside worker processes of the
+#: parallel scheduler and kills the worker outright (``os._exit``)
+#: instead of raising, to exercise the parent's crash-quarantine path.
+SITES = ("parse", "prepare", "seg", "smt", "sched")
 
 
 class InjectedFault(RuntimeError):

@@ -1,0 +1,196 @@
+"""Crash-contained process pool for the wave scheduler.
+
+``ProcessPoolExecutor`` (not ``multiprocessing.Pool``): when a worker
+process dies — segfault, OOM-kill, an injected ``sched`` fault calling
+``os._exit`` — the executor breaks *promptly* with
+``BrokenProcessPool`` instead of hanging on a lost result.
+
+The containment protocol on a broken pool: every task whose result was
+not yet collected is retried in a fresh **single-worker** executor.  A
+deterministic killer takes down only its own isolated pool (and is
+reported as a :class:`WorkerCrash` for the scheduler to quarantine);
+innocent tasks that merely shared the broken pool succeed on retry.
+This mirrors the repo's quarantine discipline — one bad unit of work
+never takes down the run, and it costs nothing on the healthy path.
+
+A per-task ``timeout`` (seconds) turns a hung worker into a
+:class:`WorkerCrash` too; the pool is rebuilt because the hung process
+still occupies a slot.  The abandoned worker keeps running until it
+finishes or the parent exits — Python offers no portable way to kill a
+pool worker mid-task — so timeouts trade a leaked process for forward
+progress.
+
+Results travel as opaque ``bytes`` (the worker pickles its own outcome)
+so a result the pool cannot unpickle can never poison the parent; the
+scheduler decodes them.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.log import get_logger
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
+from repro.robust.faults import active_plan
+from repro.sched import worker as _worker
+
+_log = get_logger("sched.pool")
+
+#: Executor exceptions that mean "the pool itself is dead".
+_POOL_DEAD = (BrokenProcessPool, concurrent.futures.BrokenExecutor, OSError)
+
+
+class WorkerCrash:
+    """Marker result: the worker process died or timed out on this task."""
+
+    __slots__ = ("detail", "timed_out")
+
+    def __init__(self, detail: str, timed_out: bool = False) -> None:
+        self.detail = detail
+        self.timed_out = timed_out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WorkerCrash({self.detail!r})"
+
+
+class WorkerPool:
+    """A pool of worker processes running one task function.
+
+    ``run_wave`` takes ``(name, payload)`` pairs and returns a dict
+    mapping each name to either the task's ``bytes`` result or a
+    :class:`WorkerCrash`.  It never raises for worker-side failures.
+    """
+
+    def __init__(
+        self,
+        jobs: int,
+        task_fn=None,
+        timeout: Optional[float] = None,
+    ) -> None:
+        self.jobs = max(1, int(jobs))
+        self.task_fn = task_fn or _worker.prepare_task
+        self.timeout = timeout if timeout and timeout > 0 else None
+        self._executor: Optional[concurrent.futures.ProcessPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+    def _initargs(self) -> Tuple[str, bool]:
+        plan = active_plan()
+        return (plan.spec if plan is not None else "", get_tracer().enabled)
+
+    def _make_executor(self, workers: int):
+        # fork where available: workers inherit the parsed program and
+        # installed fault plan for free.  The initializer re-installs
+        # both trace enablement and faults so spawn platforms work too.
+        method = (
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+        )
+        return concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=multiprocessing.get_context(method),
+            initializer=_worker.init_worker,
+            initargs=self._initargs(),
+        )
+
+    def _ensure(self):
+        if self._executor is None:
+            self._executor = self._make_executor(self.jobs)
+        return self._executor
+
+    def _discard(self) -> None:
+        executor = self._executor
+        self._executor = None
+        if executor is not None:
+            get_registry().counter(
+                "sched.pool_rebuilds", "Worker pools abandoned after crash/timeout"
+            ).inc()
+            try:
+                executor.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # pragma: no cover - shutdown races
+                pass
+
+    def close(self) -> None:
+        executor = self._executor
+        self._executor = None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    def run_wave(self, tasks: List[Tuple[str, bytes]]) -> Dict[str, object]:
+        """Run one wave; every task yields ``bytes`` or a WorkerCrash."""
+        results: Dict[str, object] = {}
+        queue = list(tasks)
+        while queue:
+            executor = self._ensure()
+            try:
+                batch = [
+                    (name, payload, executor.submit(self.task_fn, payload))
+                    for name, payload in queue
+                ]
+            except _POOL_DEAD:
+                # Broken before we could even submit: isolate everything.
+                self._discard()
+                for name, payload in queue:
+                    results[name] = self._run_isolated(name, payload)
+                return results
+            queue = []
+            broken = False
+            for index, (name, payload, future) in enumerate(batch):
+                if broken:
+                    results[name] = self._run_isolated(name, payload)
+                    continue
+                try:
+                    results[name] = future.result(self.timeout)
+                except concurrent.futures.TimeoutError:
+                    results[name] = self._timeout_crash(name)
+                    # The hung worker still holds a slot; rebuild the pool
+                    # and re-dispatch the not-yet-collected tasks on it.
+                    self._discard()
+                    queue = [(n, p) for n, p, _ in batch[index + 1 :]]
+                    break
+                except _POOL_DEAD:
+                    # The pool died.  The task whose future raised may be
+                    # innocent (any worker's death breaks the whole pool),
+                    # so it and every later task get an isolated retry:
+                    # the killer dies again alone, innocents succeed.
+                    _log.warning("worker pool broke", task=name)
+                    self._discard()
+                    broken = True
+                    results[name] = self._run_isolated(name, payload)
+        return results
+
+    def _run_isolated(self, name: str, payload: bytes) -> object:
+        executor = self._make_executor(1)
+        try:
+            return executor.submit(self.task_fn, payload).result(self.timeout)
+        except concurrent.futures.TimeoutError:
+            return self._timeout_crash(name)
+        except _POOL_DEAD:
+            get_registry().counter(
+                "sched.worker_crashes", "Worker processes that died mid-task"
+            ).inc()
+            return WorkerCrash(f"worker process died preparing {name!r}")
+        finally:
+            try:
+                executor.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # pragma: no cover - shutdown races
+                pass
+
+    def _timeout_crash(self, name: str) -> WorkerCrash:
+        get_registry().counter(
+            "sched.worker_timeouts", "Worker tasks abandoned after timeout"
+        ).inc()
+        return WorkerCrash(
+            f"worker timed out after {self.timeout}s preparing {name!r}",
+            timed_out=True,
+        )

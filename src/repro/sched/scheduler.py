@@ -1,0 +1,375 @@
+"""Wave scheduler: parallel + cached bottom-up preparation.
+
+``prepare_program`` is the parallel/cached counterpart of
+:func:`repro.core.pipeline.prepare_module`.  It produces the *same*
+:class:`~repro.core.pipeline.PreparedModule` a serial run would —
+byte-identical downstream reports are the contract — while
+
+- dispatching per-function stage 1-3 work (connector transformation,
+  intraprocedural points-to, SEG construction) for each call-graph wave
+  onto a process pool (``jobs > 1``), and/or
+- loading and persisting per-function artifacts through an on-disk
+  :class:`~repro.cache.store.SummaryStore` (``--cache-dir``).
+
+Determinism is preserved by construction:
+
+- wave order is used only for *dispatch*; the merged module's
+  ``functions``/``order`` follow the exact serial ``bottom_up_order``,
+  so the engine's summary/checker pass (which stays serial — context
+  numbering is sequential across it) sees the same world in the same
+  order;
+- diagnostics are buffered per function and replayed in serial order
+  during final assembly, so the diagnostics list is byte-identical to a
+  ``--jobs 1`` run;
+- verification (and the admit/quarantine decision it implies) runs at
+  the wave barrier because a rejected function must not publish its
+  connector signature to later waves — exactly the serial data flow.
+
+Failure semantics match the serial quarantine ladder: a Python
+exception inside a worker ships back as ``(type, message)`` and becomes
+the same ``prepare``-stage diagnostic a serial run records; a *dead or
+hung worker process* becomes a ``sched``-stage quarantine (serial runs
+can't crash that way, and a healthy parallel run records neither).
+SEG-construction failures ship ``seg=None`` and the engine rebuilds
+under its own ``seg`` quarantine, so deterministic failures reproduce
+with identical diagnostics.
+
+Resource budgets are cooperative (checked inside the analysis loops of
+*this* process), so a limited budget forces the serial path — workers
+could not observe a shared deadline.  Cache lookups still apply.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.cache.keys import key_digest, prepare_cache_key
+from repro.cache.store import SummaryStore
+from repro.core.pipeline import (
+    PreparedFunction,
+    PreparedModule,
+    prepare_function,
+)
+from repro.ir.callgraph import CallGraph
+from repro.ir.lower import lower_program
+from repro.lang import ast
+from repro.obs.log import get_logger
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.trace import Span, get_tracer, trace
+from repro.robust.budget import ResourceBudget
+from repro.robust.diagnostics import (
+    REASON_BUDGET,
+    REASON_QUARANTINED,
+    STAGE_PREPARE,
+    STAGE_PTA,
+    STAGE_SCHED,
+    DiagnosticLog,
+)
+from repro.robust.faults import fault_point
+from repro.robust.quarantine import FATAL
+from repro.sched.pool import WorkerCrash, WorkerPool
+from repro.sched.waves import scc_waves
+
+_log = get_logger("sched")
+
+
+@dataclass
+class _Outcome:
+    """Buffered per-function result, recorded into the module (and its
+    diagnostics) only during the serial-order assembly pass."""
+
+    kind: str  # "prepared" | "quarantined"
+    result: Optional[PreparedFunction] = None
+    seg: Any = None
+    cached: bool = False
+    stage: str = STAGE_PREPARE
+    detail: str = ""
+    line: int = 0
+    violations: List[Any] = field(default_factory=list)
+    admitted: bool = True
+
+
+def prepare_program(
+    program: ast.Program,
+    *,
+    jobs: int = 1,
+    budget: Optional[ResourceBudget] = None,
+    diagnostics: Optional[DiagnosticLog] = None,
+    verify: str = "",
+    store: Optional[SummaryStore] = None,
+    worker_timeout: float = 0.0,
+) -> PreparedModule:
+    """Prepare a parsed program across ``jobs`` processes with optional
+    artifact caching; drop-in replacement for ``prepare_module``."""
+    from repro.verify import (
+        MODE_OFF,
+        SEVERITY_ERROR,
+        record_violations,
+        resolve_mode,
+        severity_of,
+        timed_verify,
+    )
+    from repro.verify.ir_verifier import verify_function_ir
+
+    verify_mode = resolve_mode(verify)
+    registry = get_registry()
+    prepared = PreparedModule()
+    if diagnostics is not None:
+        prepared.diagnostics = diagnostics
+
+    effective_jobs = max(1, int(jobs))
+    if budget is not None and budget.limited and effective_jobs > 1:
+        registry.counter(
+            "sched.serial_fallback",
+            "Parallel runs forced serial by a cooperative resource budget",
+        ).inc()
+        _log.info(
+            "resource budgets are cooperative; forcing serial preparation",
+            requested_jobs=effective_jobs,
+        )
+        effective_jobs = 1
+
+    with trace("lower", unit="<module>"):
+        module = lower_program(program)
+        callgraph = CallGraph(module)
+    prepared.callgraph = callgraph
+    serial_order = callgraph.bottom_up_order()
+    ast_by_name = {f.name: f for f in program.functions}
+    scc_of: Dict[str, int] = {}
+    for index, scc in enumerate(callgraph.sccs()):
+        for member in scc:
+            scc_of[member] = index
+
+    waves = scc_waves(callgraph)
+    registry.gauge("sched.jobs", "Worker processes of the last run").set(
+        effective_jobs
+    )
+    registry.gauge("sched.waves", "Call-graph waves of the last run").set(
+        len(waves)
+    )
+
+    signatures: Dict[str, Any] = {}
+    outcomes: Dict[str, _Outcome] = {}
+    digest_of: Dict[str, str] = {}
+
+    pool = WorkerPool(effective_jobs, timeout=worker_timeout) if effective_jobs > 1 else None
+    try:
+        for wave_index, wave in enumerate(waves):
+            names = [name for scc in wave for name in scc]
+            with trace("sched.wave", unit=str(wave_index)) as span:
+                pending: List[Tuple[str, ast.FuncDef, Dict[str, Any]]] = []
+                for name in names:
+                    func_ast = ast_by_name[name]
+                    usable = {
+                        callee: sig
+                        for callee, sig in signatures.items()
+                        if scc_of.get(callee) != scc_of.get(name)
+                    }
+                    if store is not None:
+                        digest = key_digest(
+                            prepare_cache_key(
+                                func_ast, usable, callgraph.callees.get(name, ())
+                            )
+                        )
+                        digest_of[name] = digest
+                        hit = store.get(digest)
+                        if hit is not None:
+                            _stored, result, seg = hit
+                            outcomes[name] = _Outcome(
+                                "prepared", result=result, seg=seg, cached=True
+                            )
+                            continue
+                    pending.append((name, func_ast, usable))
+                span.set(
+                    functions=len(names),
+                    cached=len(names) - len(pending),
+                    dispatched=len(pending),
+                )
+
+                if pool is not None and pending:
+                    registry.counter(
+                        "sched.tasks", "Function tasks dispatched to workers"
+                    ).inc(len(pending))
+                    payloads = [
+                        (
+                            name,
+                            pickle.dumps(
+                                (name, func_ast, usable),
+                                protocol=pickle.HIGHEST_PROTOCOL,
+                            ),
+                        )
+                        for name, func_ast, usable in pending
+                    ]
+                    raw = pool.run_wave(payloads)
+                    for name, func_ast, _usable in pending:
+                        outcomes[name] = _decode_worker_result(raw[name], name)
+                else:
+                    for name, func_ast, usable in pending:
+                        outcomes[name] = _run_inline(
+                            name, func_ast, usable, prepared.linear, budget
+                        )
+
+                # Wave-boundary admission gate: a function must pass the
+                # IR verifier before its connector signature becomes
+                # visible to later waves — the serial pipeline's exact
+                # data flow.  Diagnostics are recorded later, in serial
+                # order, during assembly.
+                for name in names:
+                    out = outcomes[name]
+                    if out.kind != "prepared":
+                        continue
+                    result = out.result
+                    if verify_mode != MODE_OFF:
+                        with timed_verify("ir"), trace("verify.ir", unit=name):
+                            out.violations = verify_function_ir(
+                                result.function,
+                                result.control_deps,
+                                dom=result.gates.dom,
+                            )
+                        if any(
+                            severity_of(v.rule) == SEVERITY_ERROR
+                            for v in out.violations
+                        ):
+                            out.admitted = False
+                            continue
+                    signatures[name] = result.signature
+                    if (
+                        store is not None
+                        and not out.cached
+                        and digest_of.get(name)
+                    ):
+                        store.put(digest_of[name], name, result, out.seg)
+    finally:
+        if pool is not None:
+            pool.close()
+
+    # Serial-order assembly: identical functions/order/diagnostics to a
+    # prepare_module run over the same outcomes.
+    log = prepared.diagnostics
+    for name in serial_order:
+        out = outcomes.get(name)
+        if out is None:  # pragma: no cover - every name gets an outcome
+            continue
+        func_ast = ast_by_name[name]
+        if out.kind == "quarantined":
+            log.record(
+                out.stage,
+                name,
+                REASON_QUARANTINED,
+                detail=out.detail,
+                line=func_ast.line or out.line,
+            )
+            continue
+        if out.violations:
+            errors = record_violations(out.violations, log)
+            if errors:
+                prepared.verify_failures[name] = ("cfg", out.result.function)
+                continue
+        if out.result.points_to.degraded:
+            log.record(
+                STAGE_PTA,
+                name,
+                REASON_BUDGET,
+                detail="points-to conditions degraded to TRUE",
+                line=func_ast.line,
+            )
+        prepared.functions[name] = out.result
+        prepared.order.append(name)
+        if out.seg is not None:
+            prepared.segs[name] = out.seg
+
+    _log.info(
+        "module prepared",
+        functions=len(prepared.functions),
+        quarantined=len(serial_order) - len(prepared.functions),
+        jobs=effective_jobs,
+        waves=len(waves),
+        cached=sum(1 for out in outcomes.values() if out.cached),
+    )
+    return prepared
+
+
+# ----------------------------------------------------------------------
+def _run_inline(
+    name: str,
+    func_ast: ast.FuncDef,
+    usable: Dict[str, Any],
+    linear,
+    budget: Optional[ResourceBudget],
+) -> _Outcome:
+    """In-process task execution (``jobs=1`` with a cache dir): serial
+    pipeline semantics, plus an eager SEG build so the artifact can be
+    persisted whole."""
+    from repro.seg.builder import build_seg
+
+    try:
+        with trace("prepare.fn", unit=name):
+            fault_point("prepare", name)
+            result = prepare_function(func_ast, usable, linear, budget=budget)
+    except FATAL:
+        raise
+    except Exception as error:
+        return _Outcome(
+            "quarantined",
+            stage=STAGE_PREPARE,
+            detail=f"{type(error).__name__}: {error}",
+            line=getattr(error, "line", 0) or 0,
+        )
+    seg = None
+    try:
+        seg = build_seg(result)
+    except FATAL:
+        raise
+    except Exception:
+        # The engine rebuilds under its own `seg` quarantine, so a
+        # deterministic failure reproduces with identical diagnostics.
+        seg = None
+    return _Outcome("prepared", result=result, seg=seg)
+
+
+def _decode_worker_result(raw: object, name: str) -> _Outcome:
+    """Turn one pool result (bytes or WorkerCrash) into an outcome,
+    merging the worker's metrics and spans into this process."""
+    if isinstance(raw, WorkerCrash):
+        return _Outcome("quarantined", stage=STAGE_SCHED, detail=raw.detail)
+    try:
+        outcome = pickle.loads(raw)
+    except Exception as error:
+        return _Outcome(
+            "quarantined",
+            stage=STAGE_SCHED,
+            detail=f"worker result unreadable: {type(error).__name__}: {error}",
+        )
+    kind = outcome[0]
+    if kind == "ok":
+        _kind, _name, result, seg, seg_error, registry, spans = outcome
+        _absorb_worker_observability(registry, spans)
+        if seg_error:
+            _log.warning("worker SEG build failed", function=name, error=seg_error)
+        return _Outcome("prepared", result=result, seg=seg)
+    if kind == "error":
+        _kind, _name, exc_type, message, line, registry, spans = outcome
+        _absorb_worker_observability(registry, spans)
+        return _Outcome(
+            "quarantined",
+            stage=STAGE_PREPARE,
+            detail=f"{exc_type}: {message}",
+            line=line,
+        )
+    return _Outcome(
+        "quarantined",
+        stage=STAGE_SCHED,
+        detail=f"worker returned unknown outcome kind {kind!r}",
+    )
+
+
+def _absorb_worker_observability(
+    registry: Optional[MetricsRegistry], spans: Optional[List[Span]]
+) -> None:
+    if isinstance(registry, MetricsRegistry):
+        get_registry().merge(registry)
+    tracer = get_tracer()
+    if tracer.enabled and spans:
+        tracer.absorb(spans)

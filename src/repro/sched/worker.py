@@ -1,0 +1,121 @@
+"""Worker-process side of the parallel scheduler.
+
+Each task prepares exactly one function (stage 1-3: connector
+transformation, intraprocedural points-to, SEG build) from a pickled
+``(name, FuncDef AST, usable callee signatures)`` payload and ships back
+a pickled outcome tuple:
+
+- ``("ok", name, PreparedFunction, SEG | None, seg_error, registry,
+  spans)`` — the function prepared; ``seg_error`` is set (and the SEG
+  ``None``) when SEG construction failed, in which case the parent
+  rebuilds it under its own quarantine so serial semantics hold;
+- ``("error", name, exc_type, message, line, registry, spans)`` — the
+  preparation itself raised; the parent converts this into the same
+  ``prepare`` quarantine diagnostic a serial run records.
+
+Python exceptions therefore *never* cross the process boundary as
+exceptions — only process death (segfault, ``os._exit``, OOM-kill) is
+left for the parent's broken-pool protocol to detect.
+
+Each task runs under a fresh metrics registry and tracer; both are
+returned in the outcome so the parent can merge worker-side counters
+(``pta.*``, ``seg.*``) and spans (``prepare.fn``, ``seg.build``) into
+the run's own registry — the per-process globals of ``repro.obs`` are
+never shared between processes.
+
+The ``sched`` fault site (``--fault sched:<fn>`` / ``REPRO_FAULTS``)
+kills the worker process outright via ``os._exit`` — deliberately not a
+Python exception — so tests and CI can prove the parent's crash
+quarantine path fires on real process death.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Any, Tuple
+
+from repro.obs.metrics import MetricsRegistry, set_registry
+from repro.obs.trace import Tracer, set_tracer, trace
+from repro.robust.faults import active_plan, fault_point, install_faults
+from repro.robust.quarantine import FATAL
+from repro.smt.linear_solver import LinearSolver
+
+#: Worker-process tracing switch, set by :func:`init_worker`.
+_TRACE_ENABLED = False
+
+
+def init_worker(fault_spec: str, trace_enabled: bool) -> None:
+    """Pool initializer: arm fault injection and tracing in this worker.
+
+    With the ``fork`` start method the worker inherits the parent's
+    globals anyway; with ``spawn`` (macOS/Windows default) this is what
+    re-installs them."""
+    global _TRACE_ENABLED
+    _TRACE_ENABLED = bool(trace_enabled)
+    if fault_spec:
+        install_faults(fault_spec)
+
+
+def prepare_task(payload: bytes) -> bytes:
+    """Prepare one function; see the module docstring for the protocol."""
+    from repro.core.pipeline import prepare_function
+    from repro.seg.builder import build_seg
+
+    name, func_ast, usable = pickle.loads(payload)
+
+    # Simulated hard crash: die like a segfaulting worker would, without
+    # unwinding — the parent must survive via the broken-pool protocol.
+    plan = active_plan()
+    if plan is not None and plan.should_fire("sched", name):
+        os._exit(3)
+
+    registry = set_registry(MetricsRegistry())
+    set_tracer(Tracer(enabled=_TRACE_ENABLED))
+    outcome: Tuple[Any, ...]
+    try:
+        with trace("sched.worker", unit=name, pid=os.getpid()):
+            fault_point("prepare", name)
+            with trace("prepare.fn", unit=name):
+                prepared = prepare_function(func_ast, usable, LinearSolver())
+            seg = None
+            seg_error = ""
+            try:
+                seg = build_seg(prepared)
+            except FATAL:
+                raise
+            except Exception as error:
+                seg_error = f"{type(error).__name__}: {error}"
+        outcome = ("ok", name, prepared, seg, seg_error, registry, _spans())
+    except FATAL:
+        raise
+    except Exception as error:
+        outcome = (
+            "error",
+            name,
+            type(error).__name__,
+            str(error),
+            getattr(error, "line", 0) or 0,
+            registry,
+            _spans(),
+        )
+    try:
+        return pickle.dumps(outcome, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as error:  # unpicklable artifact: degrade to error
+        fallback = (
+            "error",
+            name,
+            type(error).__name__,
+            f"result not picklable: {error}",
+            0,
+            MetricsRegistry(),
+            [],
+        )
+        return pickle.dumps(fallback, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _spans():
+    from repro.obs.trace import get_tracer
+
+    tracer = get_tracer()
+    return list(tracer.spans) if tracer.enabled else []

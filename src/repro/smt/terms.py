@@ -14,6 +14,7 @@ single shared DAG node.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Optional, Tuple
 
 # Term kinds.  Leaf kinds carry a payload in ``value``; interior kinds
@@ -72,7 +73,7 @@ class Term:
     :func:`and_`, :func:`eq`, ...) or :class:`TermFactory` methods.
     """
 
-    __slots__ = ("kind", "args", "value", "_id", "_hash")
+    __slots__ = ("kind", "args", "value", "_id", "_hash", "_skey")
 
     def __init__(
         self,
@@ -86,6 +87,17 @@ class Term:
         self.value = value
         self._id = ident
         self._hash = hash((kind, tuple(a._id for a in args), value))
+        # Structural (Merkle) key: identical for structurally equal
+        # terms in *any* process, unlike ``_id`` (allocation order) and
+        # ``hash()`` (PYTHONHASHSEED).  Canonical argument ordering
+        # sorts by this key so conditions built in scheduler workers
+        # or loaded from the artifact cache collapse to the exact terms
+        # a serial run builds — a requirement for byte-identical
+        # reports under --jobs N / --cache-dir.
+        digest = hashlib.sha1(f"{kind}\x00{value!r}\x00".encode("utf-8"))
+        for arg in args:
+            digest.update(arg._skey)
+        self._skey = digest.digest()
 
     # Hash-consing makes identity comparison the correct equality.
     def __eq__(self, other: object) -> bool:
@@ -141,11 +153,27 @@ class Term:
             stack.extend(term.args)
         return frozenset(names)
 
+    def __reduce__(self):
+        # Pickle by *structure* and re-intern through the module-level
+        # factory on load.  Without this, terms crossing a process or
+        # disk boundary (scheduler workers, the artifact cache) would
+        # materialize as fresh objects outside the factory table —
+        # breaking identity equality against locally built terms and
+        # colliding on ``_id`` — exactly the bugs hash-consing exists to
+        # prevent.  Pickle memoization keeps the DAG shared: each
+        # sub-term is reduced once, bottom-up.
+        return (_reintern, (self.kind, self.args, self.value))
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Term({self})"
 
     def __str__(self) -> str:
         return _format(self)
+
+
+def _reintern(kind: str, args: Tuple["Term", ...], value: object) -> "Term":
+    """Unpickle hook: rebuild a term inside this process's factory."""
+    return FACTORY._mk(kind, args, value)
 
 
 def _format(term: Term) -> str:
@@ -256,7 +284,7 @@ class TermFactory:
             return self.true
         if len(flat) == 1:
             return flat[0]
-        flat.sort(key=lambda t: t._id)
+        flat.sort(key=lambda t: t._skey)
         return self._mk(KIND_AND, tuple(flat), None)
 
     def or_(self, *parts: Term) -> Term:
@@ -275,7 +303,7 @@ class TermFactory:
             return self.false
         if len(flat) == 1:
             return flat[0]
-        flat.sort(key=lambda t: t._id)
+        flat.sort(key=lambda t: t._skey)
         return self._mk(KIND_OR, tuple(flat), None)
 
     def implies(self, a: Term, b: Term) -> Term:
@@ -304,8 +332,9 @@ class TermFactory:
                 return self.true
             if kind in (KIND_NE, KIND_LT, KIND_GT):
                 return self.false
-        # Canonical operand order for symmetric comparisons.
-        if kind in (KIND_EQ, KIND_NE) and a._id > b._id:
+        # Canonical operand order for symmetric comparisons (by the
+        # process-independent structural key; see Term._skey).
+        if kind in (KIND_EQ, KIND_NE) and a._skey > b._skey:
             a, b = b, a
         return self._mk(kind, (a, b), None)
 

@@ -168,6 +168,8 @@ def run_selfcheck(
     oracle: bool = True,
     checker: Optional[object] = None,
     config: Optional[EngineConfig] = None,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
 ) -> SelfCheckReport:
     """Run the differential harness over ``seeds``; never raises for a
     failing seed — failures are encoded in the returned report."""
@@ -185,7 +187,9 @@ def run_selfcheck(
         truths = program.ground_truth
         run_config = config or EngineConfig()
         run_config = dataclasses.replace(run_config, verify=mode)
-        engine = Pinpoint.from_source(program.source, run_config)
+        engine = Pinpoint.from_source(
+            program.source, run_config, jobs=jobs, cache_dir=cache_dir
+        )
         result = engine.check(checker or UseAfterFreeChecker())
 
         outcome = SeedOutcome(seed=seed, lines=lines)

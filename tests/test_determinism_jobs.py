@@ -1,0 +1,117 @@
+"""--jobs N determinism: parallel output must equal serial output.
+
+For every ``.pin`` program shipped in ``examples/`` and the malformed
+``tests/corpus/`` fixtures, ``repro check --jobs 4`` must emit the same
+findings, diagnostics, and stats as ``--jobs 1`` — and the same again
+through a warm artifact cache.  The comparison covers the semantic
+sections of the JSON document and the SARIF ``results`` array; the
+``metrics`` section is excluded by design (it embeds wall-clock timing
+histograms and the jobs gauge itself).
+"""
+
+import glob
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.obs.metrics import MetricsRegistry, set_registry
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+PROGRAMS = sorted(
+    glob.glob(os.path.join(EXAMPLES_DIR, "*.pin"))
+    + glob.glob(os.path.join(CORPUS_DIR, "*.pin"))
+)
+IDS = [os.path.basename(p) for p in PROGRAMS]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    set_registry(MetricsRegistry())
+    yield
+    set_registry(MetricsRegistry())
+
+
+def _json_run(path, capsys, *flags):
+    set_registry(MetricsRegistry())
+    code = main(["check", path, "--all", "--json", *flags])
+    document = json.loads(capsys.readouterr().out)
+    stats = {
+        checker: {
+            key: value
+            for key, value in per_checker.items()
+            # Wall-clock timings are the one legitimately run-dependent
+            # part of the stats block.
+            if not key.startswith("seconds_")
+        }
+        for checker, per_checker in document["stats"].items()
+    }
+    return code, {
+        "reports": document["reports"],
+        "diagnostics": document["diagnostics"],
+        "stats": stats,
+    }
+
+
+def _sarif_results(path, capsys, *flags):
+    set_registry(MetricsRegistry())
+    code = main(["check", path, "--all", "--sarif", *flags])
+    document = json.loads(capsys.readouterr().out)
+    runs = document["runs"]
+    return code, [run["results"] for run in runs]
+
+
+def test_corpus_is_nonempty():
+    assert len(PROGRAMS) >= 7  # 2+ examples, 5+ corpus fixtures
+
+
+@pytest.mark.parametrize("path", PROGRAMS, ids=IDS)
+def test_json_identical_serial_vs_jobs4(path, capsys):
+    serial = _json_run(path, capsys, "--jobs", "1")
+    parallel = _json_run(path, capsys, "--jobs", "4")
+    assert parallel == serial
+
+
+@pytest.mark.parametrize("path", PROGRAMS, ids=IDS)
+def test_sarif_identical_serial_vs_jobs4(path, capsys):
+    serial = _sarif_results(path, capsys, "--jobs", "1")
+    parallel = _sarif_results(path, capsys, "--jobs", "4")
+    assert parallel == serial
+
+
+EXAMPLE_PROGRAMS = sorted(glob.glob(os.path.join(EXAMPLES_DIR, "*.pin")))
+
+
+@pytest.mark.parametrize(
+    "path",
+    EXAMPLE_PROGRAMS,
+    ids=[os.path.basename(p) for p in EXAMPLE_PROGRAMS],
+)
+def test_json_identical_through_warm_cache(path, capsys, tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    serial = _json_run(path, capsys)
+    cold = _json_run(path, capsys, "--cache-dir", cache_dir)
+    warm = _json_run(path, capsys, "--cache-dir", cache_dir, "--jobs", "4")
+    assert cold == serial
+    assert warm == serial
+
+
+def test_generated_loop_workload_identical(tmp_path, capsys):
+    # Regression: loop-gate variable names embed instruction uids, and
+    # uids used to be allocated from a process-global counter — worker
+    # processes numbered them differently from a serial run, producing
+    # conditions like `loop.1485.body2` vs `loop.1583.body2`.  Uids are
+    # now scoped per prepared function (cfg.scoped_uids), so a
+    # loop-heavy generated workload must come out identical.
+    from repro.synth.generator import GeneratorConfig, generate_program
+
+    program = generate_program(GeneratorConfig(seed=9, target_lines=800))
+    path = tmp_path / "generated.pin"
+    path.write_text(program.source)
+    serial = _json_run(str(path), capsys, "--jobs", "1")
+    parallel = _json_run(str(path), capsys, "--jobs", "4")
+    assert parallel == serial
+    conditions = " ".join(r["condition"] for r in serial[1]["reports"])
+    assert "loop." in conditions  # the workload really exercises loop gates

@@ -231,3 +231,49 @@ def test_unit_table_charges_nested_passes_once():
     assert row.self_seconds == total
     assert row.smt_queries == 4
     assert set(row.passes) == {"prepare.fn", "pta.run", "checker.fn"}
+
+
+# ----------------------------------------------------------------------
+# Absorbing worker spans (how scheduler workers report)
+# ----------------------------------------------------------------------
+def test_absorb_remaps_uids_and_keeps_parent_links():
+    parent_tracer = make_tracer()
+    with parent_tracer.span("lower", unit="<module>"):
+        pass
+    local_uids = {span.uid for span in parent_tracer.spans}
+
+    worker = make_tracer()
+    with worker.span("sched.worker", unit="helper"):
+        with worker.span("prepare.fn", unit="helper"):
+            pass
+    parent_tracer.absorb(worker.spans)
+
+    assert len(parent_tracer.spans) == 3
+    absorbed = parent_tracer.spans[1:]
+    by_name = {span.name: span for span in absorbed}
+    # Fresh uids, no collision with locally recorded spans.
+    assert not local_uids & {span.uid for span in absorbed}
+    # The intra-batch parent link survived the remap.
+    assert by_name["prepare.fn"].parent == by_name["sched.worker"].uid
+    assert by_name["sched.worker"].parent is None
+    assert by_name["prepare.fn"].unit == "helper"
+
+
+def test_absorb_empty_batch_is_a_noop():
+    tracer = make_tracer()
+    tracer.absorb([])
+    assert tracer.spans == []
+
+
+def test_absorbed_spans_render_in_chrome_trace():
+    tracer = make_tracer()
+    worker = make_tracer()
+    with worker.span("prepare.fn", unit="helper"):
+        pass
+    tracer.absorb(worker.spans)
+    events = tracer.to_chrome_trace()["traceEvents"]
+    assert any(
+        event.get("name") == "prepare.fn"
+        for event in events
+        if event.get("ph") == "X"
+    )
