@@ -72,12 +72,49 @@ def results_dir():
 
 @pytest.fixture
 def record_result(results_dir, request):
-    """Print a result block and persist it under benchmarks/results/."""
+    """Print a result block and persist it under benchmarks/results/.
+
+    When ``REPRO_HISTORY_DIR`` is set, every bench result also lands as
+    a run record in the history store (command ``bench``), so ``repro
+    history trend`` can track benchmark trajectories alongside CLI runs.
+    """
+    import time
+
+    start = time.perf_counter()
 
     def writer(text: str, name: str | None = None) -> None:
         stem = name or request.node.name
         path = results_dir / f"{stem}.txt"
         path.write_text(text + "\n")
         print(f"\n{text}\n[saved to {path}]")
+        _record_bench_history(stem, text, time.perf_counter() - start)
 
     return writer
+
+
+def _record_bench_history(stem: str, text: str, wall_seconds: float) -> None:
+    """Append one ``bench`` run record when the history store is armed."""
+    from repro.obs.history import (
+        HistoryStore,
+        collect_run_record,
+        fingerprint_text,
+        resolve_history_dir,
+    )
+    from repro.obs.metrics import get_registry
+
+    history_dir = resolve_history_dir()
+    if not history_dir:
+        return
+    record = collect_run_record(
+        get_registry(),
+        command="bench",
+        label=stem,
+        # Bench subjects are deterministic per (name, scale), so the
+        # identity of the workload — not the result text — is the
+        # comparable-runs key.
+        fingerprint=fingerprint_text(f"bench:{stem}:{LINES_PER_KLOC}"),
+        config={"lines_per_kloc": LINES_PER_KLOC},
+        wall_seconds=wall_seconds,
+        digest=fingerprint_text(text),
+    )
+    HistoryStore(history_dir).append(record)

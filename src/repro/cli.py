@@ -34,13 +34,27 @@ from repro import (
 from repro.lang.parser import ParseError
 from repro.obs import (
     configure_logging,
+    get_progress,
     get_registry,
     get_tracer,
     measure,
+    profile_dict,
     render_profile,
+)
+from repro.obs.history import (
+    BENCH_FILE,
+    HistoryStore,
+    TrendThresholds,
+    collect_run_record,
+    compute_trend,
+    findings_digest,
+    fingerprint_text,
+    resolve_history_dir,
+    write_bench_file,
 )
 from repro.robust import ResourceBudget, install_faults
 from repro.robust.diagnostics import STAGE_VERIFY
+from repro.robust.faults import slow_point
 
 # Exit codes (see EXIT_CODE_TABLE below, shown in --help and README):
 EXIT_CLEAN = 0
@@ -48,6 +62,7 @@ EXIT_FINDINGS = 1
 EXIT_ERROR = 2
 EXIT_DEGRADED = 3
 EXIT_VERIFY = 4
+EXIT_REGRESSION = 5
 
 EXIT_CODE_TABLE = """\
 exit codes:
@@ -58,6 +73,8 @@ exit codes:
      incomplete)
   4  verification failure (--verify found a broken internal invariant,
      or selfcheck missed a seeded defect / reported a safe twin)
+  5  performance regression ('history trend --check': the latest
+     recorded run is slower/bigger than its rolling baseline)
 
 4 dominates 3 dominates 1: a run that both finds bugs and trips the
 verifier exits 4.  Gating CI on nonzero still catches every failure.
@@ -116,10 +133,18 @@ def _setup_obs(args: argparse.Namespace, force_trace: bool = False) -> None:
     Each CLI run gets a *fresh* tracer and registry, so repeated in-process
     invocations (tests, embedding) never bleed spans or counts into each
     other."""
-    from repro.obs import MetricsRegistry, Tracer, set_registry, set_tracer
+    from repro.obs import (
+        MetricsRegistry,
+        ProgressTracker,
+        Tracer,
+        set_progress,
+        set_registry,
+        set_tracer,
+    )
 
     set_registry(MetricsRegistry())
     set_tracer(Tracer(enabled=force_trace or bool(getattr(args, "trace", ""))))
+    set_progress(ProgressTracker())
     if getattr(args, "log_level", "") or getattr(args, "log_json", False):
         configure_logging(
             level=getattr(args, "log_level", "") or "warning",
@@ -133,6 +158,85 @@ def _export_obs(args: argparse.Namespace) -> None:
         get_tracer().write_chrome_trace(args.trace)
     if getattr(args, "metrics_out", ""):
         get_registry().write(args.metrics_out)
+
+
+def _start_monitor(args: argparse.Namespace):
+    """Start the live monitor when ``--monitor-port`` was given (0 picks
+    an ephemeral port); enables progress tracking for the run."""
+    port = getattr(args, "monitor_port", None)
+    if port is None:
+        return None
+    from repro.obs import MonitorServer
+
+    progress = get_progress()
+    progress.enabled = True
+    monitor = MonitorServer(port=port)
+    bound = monitor.start()
+    print(f"[monitor] serving on http://127.0.0.1:{bound}", file=sys.stderr)
+    return monitor
+
+
+def _finish_monitor(monitor, args: argparse.Namespace, exit_code: int) -> None:
+    """Emit the final progress event, honour ``--linger``, stop serving."""
+    get_progress().finish(exit_code)
+    if monitor is None:
+        return
+    if getattr(args, "linger", False):
+        import time as _time
+
+        print(
+            "[monitor] analysis done; still serving (Ctrl-C to stop)",
+            file=sys.stderr,
+        )
+        try:
+            while monitor.running:
+                _time.sleep(0.2)
+        except KeyboardInterrupt:
+            pass
+    monitor.stop()
+
+
+def _record_history(
+    args: argparse.Namespace,
+    *,
+    command: str,
+    label: str,
+    fingerprint: str,
+    config: Dict,
+    wall_seconds: float,
+    peak_mb: float,
+    exit_code: int,
+    findings: int = 0,
+    findings_by_checker=None,
+    digest: str = "",
+    diagnostics=None,
+    profile=None,
+    quiet: bool = False,
+) -> str:
+    """Append a run record when history recording is on; returns the
+    run id ('' when recording is off)."""
+    history_dir = resolve_history_dir(getattr(args, "history_dir", ""))
+    if not history_dir:
+        return ""
+    record = collect_run_record(
+        get_registry(),
+        command=command,
+        label=label,
+        fingerprint=fingerprint,
+        config=config,
+        wall_seconds=wall_seconds,
+        peak_mb=peak_mb,
+        exit_code=exit_code,
+        findings=findings,
+        findings_by_checker=findings_by_checker,
+        digest=digest,
+        diagnostics=diagnostics,
+        profile=profile,
+    )
+    run_id = HistoryStore(history_dir).append(record)
+    if not quiet:
+        print(f"[history] recorded {run_id} in {history_dir}")
+    return run_id
 
 
 def _print_stats(stats) -> None:
@@ -153,6 +257,17 @@ def _print_stats(stats) -> None:
     )
     if any(data[k] for k in robust_keys):
         print("  [robust] " + " ".join(f"{k}={data[k]}" for k in robust_keys))
+    from repro.obs import Histogram
+
+    smt_hist = get_registry().get("smt.solve_seconds")
+    if isinstance(smt_hist, Histogram) and smt_hist.total_count():
+        quantiles = smt_hist.merged_quantiles()
+        print(
+            "  [quantiles] smt.solve_seconds "
+            + " ".join(
+                f"{key}={value * 1000:.2f}ms" for key, value in quantiles.items()
+            )
+        )
 
 
 def cmd_check(args: argparse.Namespace) -> int:
@@ -166,16 +281,34 @@ def cmd_check(args: argparse.Namespace) -> int:
         use_linear_filter=not args.no_linear_filter,
         verify=args.verify,
     )
-    engine = Pinpoint.from_source(
-        source,
-        config,
-        budget=_build_budget(args),
-        recover=not args.strict,
-        jobs=args.jobs or None,
-        cache_dir=args.cache_dir or None,
-        worker_timeout=args.worker_timeout,
-    )
     names = list(CHECKERS) if args.all else [args.checker]
+    history_on = bool(resolve_history_dir(getattr(args, "history_dir", "")))
+    monitor = _start_monitor(args)
+    get_progress().begin_run("check", label=args.file)
+
+    def analyze():
+        slow_point()
+        engine = Pinpoint.from_source(
+            source,
+            config,
+            budget=_build_budget(args),
+            recover=not args.strict,
+            jobs=args.jobs or None,
+            cache_dir=args.cache_dir or None,
+            worker_timeout=args.worker_timeout,
+        )
+        return engine, [engine.check(CHECKERS[name]()) for name in names]
+
+    # Wall time and peak memory are only captured when a history record
+    # will want them — tracemalloc has real overhead, and a plain check
+    # should stay as fast as before this feature existed.
+    if history_on:
+        (engine, results), measurement = measure(analyze)
+        wall_seconds, peak_mb = measurement.seconds, measurement.peak_mb
+    else:
+        engine, results = analyze()
+        wall_seconds = peak_mb = 0.0
+
     baseline = None
     if args.baseline:
         from repro.core.baseline import Baseline
@@ -186,12 +319,9 @@ def cmd_check(args: argparse.Namespace) -> int:
             baseline = Baseline()
     exit_code = EXIT_CLEAN
     payload: List[Dict] = []
-    results = []
     diagnostics: List = []
     diag_seen = set()
-    for name in names:
-        result = engine.check(CHECKERS[name]())
-        results.append(result)
+    for name, result in zip(names, results):
         for diag in result.diagnostics:
             key = (diag.stage, diag.unit, diag.reason, diag.line, diag.detail)
             if key not in diag_seen:
@@ -272,6 +402,34 @@ def cmd_check(args: argparse.Namespace) -> int:
         exit_code = EXIT_DEGRADED
     if any(diag.stage == STAGE_VERIFY for diag in diagnostics):
         exit_code = EXIT_VERIFY
+    _record_history(
+        args,
+        command="check",
+        label=args.file,
+        fingerprint=fingerprint_text(source),
+        config={
+            "checkers": names,
+            "jobs": args.jobs or 0,
+            "cache": bool(args.cache_dir),
+            "depth": args.depth,
+            "smt": not args.no_smt,
+            "verify": args.verify,
+            "fault": args.fault,
+        },
+        wall_seconds=wall_seconds,
+        peak_mb=peak_mb,
+        exit_code=exit_code,
+        findings=sum(len(result.reports) for result in results),
+        findings_by_checker={
+            result.checker: len(result.reports) for result in results
+        },
+        digest=findings_digest(
+            [report.key() for result in results for report in result]
+        ),
+        diagnostics=[diag.as_dict() for diag in diagnostics],
+        quiet=args.json or args.sarif,
+    )
+    _finish_monitor(monitor, args, exit_code)
     return exit_code
 
 
@@ -299,24 +457,53 @@ def cmd_profile(args: argparse.Namespace) -> int:
         )
         return [engine.check(CHECKERS[name]()) for name in names]
 
+    get_progress().begin_run("profile", label=args.file)
     results, measurement = measure(analyze)
-    print(
-        render_profile(
-            tracer,
-            get_registry(),
-            measurement,
-            source_label=args.file,
-            top=args.top,
-        )
-    )
     reports = sum(len(result.reports) for result in results)
     degraded = sum(len(result.diagnostics) for result in results)
-    print()
-    print(
-        f"checkers: {', '.join(names)} — {reports} report(s), "
-        f"{degraded} diagnostic(s)"
+    document = profile_dict(
+        tracer,
+        get_registry(),
+        measurement,
+        source_label=args.file,
+        top=args.top,
     )
+    document["checkers"] = names
+    document["reports"] = reports
+    document["diagnostics"] = degraded
+    if args.json:
+        json.dump(document, sys.stdout, indent=2)
+        print()
+    else:
+        print(
+            render_profile(
+                tracer,
+                get_registry(),
+                measurement,
+                source_label=args.file,
+                top=args.top,
+            )
+        )
+        print()
+        print(
+            f"checkers: {', '.join(names)} — {reports} report(s), "
+            f"{degraded} diagnostic(s)"
+        )
     _export_obs(args)
+    _record_history(
+        args,
+        command="profile",
+        label=args.file,
+        fingerprint=fingerprint_text(source),
+        config={"checkers": names, "top": args.top, "smt": not args.no_smt},
+        wall_seconds=measurement.seconds,
+        peak_mb=measurement.peak_mb,
+        exit_code=EXIT_CLEAN,
+        findings=reports,
+        profile=document,
+        quiet=args.json,
+    )
+    get_progress().finish(EXIT_CLEAN)
     return EXIT_CLEAN
 
 
@@ -475,14 +662,27 @@ def cmd_selfcheck(args: argparse.Namespace) -> int:
 
     _setup_obs(args)
     seeds = parse_seed_spec(args.seeds)
-    report = run_selfcheck(
-        seeds,
-        lines=args.lines,
-        mode=args.verify or "full",
-        oracle=not args.no_oracle,
-        jobs=args.jobs or None,
-        cache_dir=args.cache_dir or None,
-    )
+    history_on = bool(resolve_history_dir(getattr(args, "history_dir", "")))
+    monitor = _start_monitor(args)
+    get_progress().begin_run("selfcheck", label=args.seeds)
+
+    def analyze():
+        slow_point()
+        return run_selfcheck(
+            seeds,
+            lines=args.lines,
+            mode=args.verify or "full",
+            oracle=not args.no_oracle,
+            jobs=args.jobs or None,
+            cache_dir=args.cache_dir or None,
+        )
+
+    if history_on:
+        report, measurement = measure(analyze)
+        wall_seconds, peak_mb = measurement.seconds, measurement.peak_mb
+    else:
+        report = analyze()
+        wall_seconds = peak_mb = 0.0
     document = report.as_dict()
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
@@ -524,7 +724,215 @@ def cmd_selfcheck(args: argparse.Namespace) -> int:
             print(f"  seed {outcome.seed}: FAIL — {'; '.join(problems)}")
         print(f"result: {'PASS' if report.ok else 'FAIL'}")
     _export_obs(args)
-    return EXIT_CLEAN if report.ok else EXIT_VERIFY
+    exit_code = EXIT_CLEAN if report.ok else EXIT_VERIFY
+    _record_history(
+        args,
+        command="selfcheck",
+        label=args.seeds,
+        fingerprint=fingerprint_text(f"selfcheck:{args.seeds}:{args.lines}"),
+        config={
+            "seeds": args.seeds,
+            "lines": args.lines,
+            "verify": args.verify or "full",
+            "oracle": not args.no_oracle,
+            "jobs": args.jobs or 0,
+        },
+        wall_seconds=wall_seconds,
+        peak_mb=peak_mb,
+        exit_code=exit_code,
+        findings=document.get("trap_reports", 0)
+        + document.get("other_false_positives", 0),
+        quiet=args.json,
+    )
+    _finish_monitor(monitor, args, exit_code)
+    return exit_code
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro check`` with the live monitor on: serve /healthz /metrics
+    /status /events while the analysis runs (and afterwards, with
+    --linger)."""
+    args.monitor_port = args.port
+    return cmd_check(args)
+
+
+def _open_history(args: argparse.Namespace):
+    """The store named by --history-dir / REPRO_HISTORY_DIR, or None
+    (after printing a usage error)."""
+    resolved = resolve_history_dir(getattr(args, "history_dir", ""))
+    if not resolved:
+        print(
+            "error: no history directory (pass --history-dir or set "
+            "REPRO_HISTORY_DIR)",
+            file=sys.stderr,
+        )
+        return None
+    return HistoryStore(resolved)
+
+
+def cmd_history_list(args: argparse.Namespace) -> int:
+    store = _open_history(args)
+    if store is None:
+        return EXIT_ERROR
+    index = store.index()
+    if args.json:
+        json.dump(index, sys.stdout, indent=2)
+        print()
+        return EXIT_CLEAN
+    if not index:
+        print(f"no runs recorded in {store.directory}")
+        return EXIT_CLEAN
+    header = (
+        f"{'run':<8} {'when':<20} {'command':<10} {'wall':>9} {'peak':>9} "
+        f"{'finds':>5} {'exit':>4}  label"
+    )
+    print(header)
+    print("-" * len(header))
+    for entry in index:
+        print(
+            f"{entry['run_id']:<8} {entry['ts_iso']:<20} "
+            f"{entry['command']:<10} {entry['wall_seconds']:>8.3f}s "
+            f"{entry['peak_mb']:>7.1f}MB {entry['findings']:>5} "
+            f"{entry['exit_code']:>4}  {entry['label']}"
+        )
+    return EXIT_CLEAN
+
+
+def cmd_history_show(args: argparse.Namespace) -> int:
+    store = _open_history(args)
+    if store is None:
+        return EXIT_ERROR
+    record = store.get(args.run) if args.run else store.latest()
+    if record is None:
+        which = args.run or "latest"
+        print(f"error: no such run: {which}", file=sys.stderr)
+        return EXIT_ERROR
+    json.dump(record, sys.stdout, indent=2, sort_keys=True)
+    print()
+    return EXIT_CLEAN
+
+
+def cmd_history_diff(args: argparse.Namespace) -> int:
+    store = _open_history(args)
+    if store is None:
+        return EXIT_ERROR
+    if not args.old and not args.new:
+        records = store.records()
+        if len(records) < 2:
+            print("error: need at least two recorded runs to diff", file=sys.stderr)
+            return EXIT_ERROR
+        args.old = records[-2]["run_id"]
+        args.new = records[-1]["run_id"]
+    old = store.get(args.old)
+    new = store.get(args.new)
+    missing = [rid for rid, rec in ((args.old, old), (args.new, new)) if rec is None]
+    if missing:
+        print(f"error: no such run: {', '.join(missing)}", file=sys.stderr)
+        return EXIT_ERROR
+
+    def delta(label: str, a: float, b: float, unit: str = "") -> str:
+        change = b - a
+        pct = f" ({change / a * 100:+.1f}%)" if a else ""
+        return f"  {label:<16} {a:>10.3f} -> {b:>10.3f}{unit} {change:+.3f}{pct}"
+
+    if args.json:
+        document = {
+            "old": old["run_id"],
+            "new": new["run_id"],
+            "wall_seconds": [old["wall_seconds"], new["wall_seconds"]],
+            "peak_mb": [old["peak_mb"], new["peak_mb"]],
+            "findings": [
+                old["findings"]["total"], new["findings"]["total"]
+            ],
+            "stages": {
+                stage: [
+                    old.get("stages", {}).get(stage, 0.0),
+                    new.get("stages", {}).get(stage, 0.0),
+                ]
+                for stage in sorted(
+                    set(old.get("stages", {})) | set(new.get("stages", {}))
+                )
+            },
+            "same_fingerprint": old["fingerprint"] == new["fingerprint"],
+            "same_findings_digest": old["findings"].get("digest")
+            == new["findings"].get("digest"),
+        }
+        json.dump(document, sys.stdout, indent=2)
+        print()
+        return EXIT_CLEAN
+    print(f"{old['run_id']} ({old['ts_iso']}) -> {new['run_id']} ({new['ts_iso']})")
+    if old["fingerprint"] != new["fingerprint"]:
+        print(
+            "  NOTE: different source fingerprints "
+            f"({old['fingerprint']} vs {new['fingerprint']}); timings are "
+            "not comparable"
+        )
+    print(delta("wall_seconds", old["wall_seconds"], new["wall_seconds"], "s"))
+    print(delta("peak_mb", old["peak_mb"], new["peak_mb"], "MB"))
+    for stage in sorted(set(old.get("stages", {})) | set(new.get("stages", {}))):
+        print(
+            delta(
+                f"stage {stage}",
+                old.get("stages", {}).get(stage, 0.0),
+                new.get("stages", {}).get(stage, 0.0),
+                "s",
+            )
+        )
+    old_f = old["findings"]["total"]
+    new_f = new["findings"]["total"]
+    print(f"  {'findings':<16} {old_f:>10} -> {new_f:>10} {new_f - old_f:+d}")
+    if old["findings"].get("digest") != new["findings"].get("digest"):
+        print("  findings digest changed (different bug sets)")
+    return EXIT_CLEAN
+
+
+def cmd_history_trend(args: argparse.Namespace) -> int:
+    store = _open_history(args)
+    if store is None:
+        return EXIT_ERROR
+    records = store.records()
+    thresholds = TrendThresholds(
+        wall_ratio=args.max_wall_ratio,
+        mem_ratio=args.max_mem_ratio,
+        baseline_runs=args.baseline_runs,
+        min_runs=args.min_runs,
+    )
+    trend = compute_trend(records, thresholds)
+    bench_path = args.bench_out or BENCH_FILE
+    write_bench_file(bench_path, records, trend)
+    if args.json:
+        json.dump(trend.as_dict(), sys.stdout, indent=2)
+        print()
+    else:
+        verdict = "OK" if trend.ok else "REGRESSION"
+        print(f"trend: {verdict} — {trend.reason}")
+        if trend.baseline:
+            print(
+                f"  baseline (median of {trend.baseline_count}): "
+                f"wall={trend.baseline['wall_seconds']:.3f}s "
+                f"peak={trend.baseline['peak_mb']:.1f}MB "
+                f"findings={trend.baseline['findings']}"
+            )
+        if trend.latest is not None:
+            print(
+                f"  latest ({trend.latest.get('run_id', '?')}): "
+                f"wall={trend.latest.get('wall_seconds', 0.0):.3f}s "
+                f"peak={trend.latest.get('peak_mb', 0.0):.1f}MB "
+                f"findings={trend.latest.get('findings', {}).get('total', 0)}"
+            )
+        for regression in trend.regressions:
+            detail = f"  REGRESSED {regression['metric']}: "
+            detail += f"{regression['baseline']} -> {regression['latest']}"
+            if regression.get("ratio") is not None:
+                detail += (
+                    f" ({regression['ratio']}x, threshold "
+                    f"{regression['threshold_ratio']}x)"
+                )
+            print(detail)
+        print(f"  trajectory written to {bench_path}")
+    if args.check and not trend.ok:
+        return EXIT_REGRESSION
+    return EXIT_CLEAN
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -563,6 +971,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--log-json",
         action="store_true",
         help="emit log records as JSON lines (implies logging enabled)",
+    )
+    obs.add_argument(
+        "--history-dir",
+        default="",
+        metavar="DIR",
+        help="append a run record (timings, memory, cache traffic, "
+        "findings digest) to the history store here (default: the "
+        "REPRO_HISTORY_DIR environment variable, else off); see the "
+        "'history' subcommand",
+    )
+    obs.add_argument(
+        "--monitor-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve the live monitor (/healthz /metrics /status /events) "
+        "on this port while the run is in flight (0 picks a free port)",
     )
 
     # Flags shared by every analysis-running subcommand: the parallel
@@ -691,6 +1116,11 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument(
         "--top", type=int, default=10, help="rows per table (default 10)"
     )
+    profile.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the profile as JSON (the machine twin of the tables)",
+    )
     profile.add_argument("--depth", type=int, default=6, help="max calling contexts")
     profile.add_argument(
         "--no-smt", action="store_true", help="path-insensitive mode"
@@ -790,6 +1220,141 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default="", metavar="FILE", help="also write the JSON report here"
     )
     selfcheck.set_defaults(func=cmd_selfcheck)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run 'check' with the live monitor serving /healthz /metrics "
+        "/status /events during (and, with --linger, after) the analysis",
+        parents=[obs, par],
+    )
+    serve.add_argument("file", help="program file ('-' for stdin)")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        metavar="PORT",
+        help="monitor port (default 0 = pick a free port, printed to "
+        "stderr)",
+    )
+    serve.add_argument(
+        "--linger",
+        action="store_true",
+        help="keep serving after the analysis finishes (Ctrl-C to stop)",
+    )
+    serve.add_argument(
+        "--checker", choices=sorted(CHECKERS), default="use-after-free"
+    )
+    serve.add_argument("--all", action="store_true", help="run every checker")
+    serve.add_argument("--json", action="store_true", help="JSON output")
+    serve.add_argument("--sarif", action="store_true", help="SARIF 2.1.0 output")
+    serve.add_argument("--baseline", default="", help=argparse.SUPPRESS)
+    serve.add_argument("--update-baseline", default="", help=argparse.SUPPRESS)
+    serve.add_argument("--stats", action="store_true", help="print engine stats")
+    serve.add_argument("--depth", type=int, default=6, help="max calling contexts")
+    serve.add_argument("--no-smt", action="store_true", help="path-insensitive mode")
+    serve.add_argument(
+        "--no-linear-filter", action="store_true", help=argparse.SUPPRESS
+    )
+    serve.add_argument("--deadline", type=float, default=0.0, metavar="SECONDS")
+    serve.add_argument("--smt-deadline", type=float, default=0.0, metavar="SECONDS")
+    serve.add_argument("--max-steps", type=int, default=0, metavar="N")
+    serve.add_argument("--strict", action="store_true", help=argparse.SUPPRESS)
+    serve.add_argument("--fault", default="", metavar="SPEC", help=argparse.SUPPRESS)
+    serve.add_argument(
+        "--verify", default="", choices=["off", "fast", "full"],
+        help="self-verification mode (as in 'check')",
+    )
+    serve.add_argument(
+        "--dump-on-verify-fail", default="", metavar="DIR", help=argparse.SUPPRESS
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    history = sub.add_parser(
+        "history",
+        help="inspect the run-history store (--history-dir / "
+        "REPRO_HISTORY_DIR) and check for perf regressions",
+    )
+    history_sub = history.add_subparsers(dest="history_command", required=True)
+    history_dir_help = (
+        "the history directory (default: the REPRO_HISTORY_DIR environment "
+        "variable)"
+    )
+    h_list = history_sub.add_parser("list", help="one line per recorded run")
+    h_list.add_argument("--history-dir", default="", metavar="DIR", help=history_dir_help)
+    h_list.add_argument("--json", action="store_true", help="JSON output")
+    h_list.set_defaults(func=cmd_history_list)
+    h_show = history_sub.add_parser("show", help="print one full run record")
+    h_show.add_argument(
+        "run", nargs="?", default="", help="run id (default: the latest run)"
+    )
+    h_show.add_argument("--history-dir", default="", metavar="DIR", help=history_dir_help)
+    h_show.set_defaults(func=cmd_history_show)
+    h_diff = history_sub.add_parser(
+        "diff", help="compare two recorded runs (timings, stages, findings)"
+    )
+    h_diff.add_argument(
+        "old", nargs="?", default="", help="run id of the baseline run "
+        "(default: second-newest run)"
+    )
+    h_diff.add_argument(
+        "new", nargs="?", default="", help="run id of the run to compare "
+        "(default: newest run)"
+    )
+    h_diff.add_argument("--history-dir", default="", metavar="DIR", help=history_dir_help)
+    h_diff.add_argument("--json", action="store_true", help="JSON output")
+    h_diff.set_defaults(func=cmd_history_diff)
+    h_trend = history_sub.add_parser(
+        "trend",
+        help="compare the latest run against the rolling baseline (median "
+        "of prior runs on the same source fingerprint) and write the "
+        "BENCH_pinpoint.json trajectory",
+    )
+    h_trend.add_argument("--history-dir", default="", metavar="DIR", help=history_dir_help)
+    h_trend.add_argument(
+        "--check",
+        action="store_true",
+        help=f"exit {EXIT_REGRESSION} when the latest run regressed "
+        "(CI gate)",
+    )
+    h_trend.add_argument(
+        "--max-wall-ratio",
+        type=float,
+        default=TrendThresholds.wall_ratio,
+        metavar="R",
+        help="wall-time regression threshold: latest > baseline*R "
+        "(default %(default)s)",
+    )
+    h_trend.add_argument(
+        "--max-mem-ratio",
+        type=float,
+        default=TrendThresholds.mem_ratio,
+        metavar="R",
+        help="peak-memory regression threshold (default %(default)s)",
+    )
+    h_trend.add_argument(
+        "--baseline-runs",
+        type=int,
+        default=TrendThresholds.baseline_runs,
+        metavar="N",
+        help="baseline = median of up to N prior comparable runs "
+        "(default %(default)s)",
+    )
+    h_trend.add_argument(
+        "--min-runs",
+        type=int,
+        default=TrendThresholds.min_runs,
+        metavar="N",
+        help="pass trivially with fewer than N comparable prior runs "
+        "(default %(default)s)",
+    )
+    h_trend.add_argument(
+        "--bench-out",
+        default="",
+        metavar="FILE",
+        help=f"trajectory file path (default ./{BENCH_FILE})",
+    )
+    h_trend.add_argument("--json", action="store_true", help="JSON output")
+    h_trend.set_defaults(func=cmd_history_trend)
 
     gen = sub.add_parser("generate", help="generate a synthetic workload")
     gen.add_argument("--lines", type=int, default=500)

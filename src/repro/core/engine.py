@@ -38,6 +38,7 @@ from repro.ir import cfg
 from repro.ir.dominance import dominators
 from repro.lang import ast
 from repro.obs.log import get_logger
+from repro.obs.progress import get_progress
 from repro.obs.trace import trace as obs_trace
 from repro.robust.budget import ResourceBudget
 from repro.robust.diagnostics import (
@@ -235,6 +236,7 @@ class Pinpoint:
         # the IR pass, ('seg', SEG) from here — for --dump-on-verify-fail.
         self.verify_failures: Dict[str, tuple] = dict(module.verify_failures)
         self.verify_mode = verify_mod.resolve_mode(self.config.verify)
+        get_progress().set_stage("seg", functions=len(module.order))
         start = time.perf_counter()
         for name in module.order:
             zone = Quarantine(self.diagnostics, STAGE_SEG, name)
@@ -340,15 +342,21 @@ class Pinpoint:
         Never raises for analysis-internal failures: a crash anywhere in
         the run yields a CheckResult whose diagnostics name what was
         quarantined."""
+        progress = get_progress()
+        progress.set_stage("checker", checker=checker.name)
         with obs_trace("checker.run", unit=checker.name):
             run = _CheckerRun(self, checker)
             zone = Quarantine(run.diagnostics, STAGE_CHECKER, checker.name)
             with zone:
-                return run.execute()
+                result = run.execute()
+                progress.checker_done(checker.name, len(result.reports))
+                return result
             # The whole run crashed (diagnostic already recorded):
             # salvage whatever was found before the failure.
             run.stats.quarantined_units += 1
-            return run.finish()
+            result = run.finish()
+            progress.checker_done(checker.name, len(result.reports))
+            return result
 
 
 class _CheckerRun:

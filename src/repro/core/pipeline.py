@@ -32,6 +32,7 @@ from repro.ir.ssa import to_ssa
 from repro.lang import ast
 from repro.lang.parser import parse_program, parse_program_tolerant
 from repro.obs.log import get_logger
+from repro.obs.progress import get_progress
 from repro.obs.trace import trace
 from repro.pta.intraproc import PointsToAnalysis, PointsToResult
 from repro.robust.budget import ResourceBudget
@@ -148,6 +149,10 @@ def prepare_module(
         for member in scc:
             scc_of[member] = index
 
+    progress = get_progress()
+    progress.set_stage("prepare", functions=len(order))
+    progress.set_functions_total(len(order))
+
     log = prepared.diagnostics
     for name in order:
         func_ast = ast_by_name[name]
@@ -164,6 +169,7 @@ def prepare_module(
             fault_point("prepare", name)
             result = prepare_function(func_ast, usable, linear, budget=budget)
         if zone.tripped:
+            progress.tick(quarantined=1)
             continue
         if verify_mode != MODE_OFF:
             with timed_verify("ir"), trace("verify.ir", unit=name):
@@ -174,6 +180,7 @@ def prepare_module(
                 errors = record_violations(violations, log)
                 if errors:
                     prepared.verify_failures[name] = ("cfg", result.function)
+                    progress.tick(quarantined=1)
                     continue
         if result.points_to.degraded:
             log.record(
@@ -186,6 +193,7 @@ def prepare_module(
         signatures[name] = result.signature
         prepared.functions[name] = result
         prepared.order.append(name)
+        progress.tick(prepared=1)
     _log.info(
         "module prepared",
         functions=len(prepared.functions),
@@ -296,6 +304,7 @@ def prepare_source(
     which guarantees results identical to the serial path."""
     if budget is not None:
         budget.start()
+    get_progress().set_stage("parse")
     if not recover:
         with trace("parse", unit="<module>"):
             program = parse_program(source)

@@ -15,7 +15,17 @@ SMT):
 - **measurement** (:mod:`repro.obs.measure`): nesting-safe wall-time /
   peak-memory capture shared with the benchmark harness;
 - **profiling** (:mod:`repro.obs.profiling`): the ``repro profile``
-  per-pass / per-function report.
+  per-pass / per-function report (``--json`` for the machine twin);
+- **run history** (:mod:`repro.obs.history`): schema-versioned run
+  records in an append-only store (``--history-dir`` /
+  ``$REPRO_HISTORY_DIR``) with rolling-baseline regression detection
+  (``repro history trend --check``);
+- **live monitor** (:mod:`repro.obs.progress` +
+  :mod:`repro.obs.monitor`): progress events from stage/wave boundaries
+  served over HTTP (``/healthz`` ``/metrics`` ``/status`` ``/events``)
+  by ``repro serve`` / ``--monitor-port``;
+- **atomic exports** (:mod:`repro.obs.export`): temp-file+rename writes
+  shared by every artifact above.
 
 Everything takes an injectable clock (:mod:`repro.obs.clock`) so tests
 and golden files are deterministic.  See ``docs/observability.md`` for
@@ -23,6 +33,15 @@ naming conventions and wiring recipes.
 """
 
 from repro.obs.clock import DEFAULT_CLOCK, ManualClock
+from repro.obs.export import atomic_write, ensure_parent_dir
+from repro.obs.history import (
+    HistoryStore,
+    TrendReport,
+    TrendThresholds,
+    collect_run_record,
+    compute_trend,
+    write_bench_file,
+)
 from repro.obs.log import StructuredLogger, configure as configure_logging, get_logger
 from repro.obs.measure import Measurement, measure, time_only
 from repro.obs.metrics import (
@@ -32,10 +51,13 @@ from repro.obs.metrics import (
     LATENCY_BUCKETS,
     MetricsRegistry,
     SIZE_BUCKETS,
+    SUMMARY_QUANTILES,
     get_registry,
     set_registry,
 )
-from repro.obs.profiling import pass_table, render_profile, unit_table
+from repro.obs.monitor import MonitorServer, get_active_monitor
+from repro.obs.profiling import pass_table, profile_dict, render_profile, unit_table
+from repro.obs.progress import ProgressTracker, get_progress, set_progress
 from repro.obs.trace import (
     Span,
     Tracer,
@@ -60,10 +82,25 @@ __all__ = [
     "Histogram",
     "LATENCY_BUCKETS",
     "SIZE_BUCKETS",
+    "SUMMARY_QUANTILES",
     "MetricsRegistry",
     "get_registry",
     "set_registry",
+    "atomic_write",
+    "ensure_parent_dir",
+    "HistoryStore",
+    "TrendReport",
+    "TrendThresholds",
+    "collect_run_record",
+    "compute_trend",
+    "write_bench_file",
+    "MonitorServer",
+    "get_active_monitor",
+    "ProgressTracker",
+    "get_progress",
+    "set_progress",
     "pass_table",
+    "profile_dict",
     "render_profile",
     "unit_table",
     "Span",

@@ -37,6 +37,14 @@ LATENCY_BUCKETS = (
 #: Default size buckets (counts of things: nodes, facts, ...).
 SIZE_BUCKETS = (1, 5, 10, 50, 100, 500, 1000, 5000, 10000, 50000, 100000)
 
+#: The quantiles run records and ``--stats`` summarize histograms at.
+SUMMARY_QUANTILES = (0.5, 0.95, 0.99)
+
+
+def _quantile_key(q: float) -> str:
+    """0.5 -> 'p50', 0.95 -> 'p95', 0.99 -> 'p99'."""
+    return "p" + format(q * 100, "g")
+
 
 def _labelset(labels: Dict[str, str]) -> LabelSet:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
@@ -118,6 +126,12 @@ class Counter(Metric):
     def total(self) -> float:
         return sum(self._values.values())
 
+    def items(self) -> List[Tuple[Dict[str, str], float]]:
+        """``(labels, value)`` pairs, sorted by label set."""
+        return [
+            (dict(labels), value) for labels, value in sorted(self._values.items())
+        ]
+
     def samples(self):
         for labels, value in sorted(self._values.items()):
             yield "", labels, (), value
@@ -155,6 +169,12 @@ class Gauge(Metric):
 
     def value(self, **labels) -> float:
         return self._values.get(_labelset(labels), 0)
+
+    def items(self) -> List[Tuple[Dict[str, str], float]]:
+        """``(labels, value)`` pairs, sorted by label set."""
+        return [
+            (dict(labels), value) for labels, value in sorted(self._values.items())
+        ]
 
     def samples(self):
         for labels, value in sorted(self._values.items()):
@@ -235,7 +255,12 @@ class Histogram(Metric):
         if not 0 <= q <= 1:
             raise ValueError("quantile must be in [0, 1]")
         state = self._states.get(_labelset(labels))
-        if state is None or state.count == 0:
+        if state is None:
+            return 0.0
+        return self._quantile_of(state, q)
+
+    def _quantile_of(self, state: "_HistogramState", q: float) -> float:
+        if state.count == 0:
             return 0.0
         rank = q * state.count
         cumulative = 0
@@ -248,6 +273,32 @@ class Histogram(Metric):
             cumulative += in_bucket
             lower = bound
         return self.buckets[-1]
+
+    def quantiles(
+        self, qs: Sequence[float] = SUMMARY_QUANTILES, **labels
+    ) -> Dict[str, float]:
+        """p50/p95/p99-style summary of one label set: ``{"p50": ...,
+        "p95": ..., "p99": ...}`` (keys derived from ``qs``)."""
+        return {
+            _quantile_key(q): self.quantile(q, **labels) for q in qs
+        }
+
+    def merged_quantiles(
+        self, qs: Sequence[float] = SUMMARY_QUANTILES
+    ) -> Dict[str, float]:
+        """Summary quantiles over *all* label sets folded together —
+        what a run record wants from a labeled latency histogram."""
+        merged = _HistogramState(len(self.buckets) + 1)
+        for state in self._states.values():
+            merged.count += state.count
+            merged.sum += state.sum
+            for index, count in enumerate(state.bucket_counts):
+                merged.bucket_counts[index] += count
+        return {_quantile_key(q): self._quantile_of(merged, q) for q in qs}
+
+    def total_count(self) -> int:
+        """Observations across every label set."""
+        return sum(state.count for state in self._states.values())
 
     def samples(self):
         for labels, state in sorted(self._states.items()):
@@ -394,15 +445,19 @@ class MetricsRegistry:
 
     def write(self, path: str) -> None:
         """Write metrics to ``path``: JSON when it ends in ``.json``,
-        Prometheus text format otherwise."""
+        Prometheus text format otherwise.
+
+        The write is atomic (temp file + rename, parent directories
+        created on demand), so a scraper polling the path never reads a
+        torn file."""
         import json
 
-        with open(path, "w", encoding="utf-8") as handle:
-            if path.endswith(".json"):
-                json.dump(self.as_dict(), handle, indent=2)
-                handle.write("\n")
-            else:
-                handle.write(self.to_prometheus())
+        from repro.obs.export import atomic_write
+
+        if path.endswith(".json"):
+            atomic_write(path, json.dumps(self.as_dict(), indent=2) + "\n")
+        else:
+            atomic_write(path, self.to_prometheus())
 
 
 # ----------------------------------------------------------------------

@@ -86,6 +86,62 @@ def unit_table(spans: Sequence[Span]) -> List[UnitRow]:
     return sorted(rows.values(), key=lambda r: r.self_seconds, reverse=True)
 
 
+def profile_dict(
+    tracer: Tracer,
+    registry: MetricsRegistry,
+    measurement: Optional[Measurement] = None,
+    source_label: str = "",
+    top: int = 10,
+) -> dict:
+    """The machine-readable twin of :func:`render_profile`.
+
+    Same per-pass / per-function top-N content as the printed tables
+    (``repro profile --json`` emits this, and history records attach it),
+    with seconds kept as floats instead of formatted strings.
+    """
+    spans = list(tracer.spans)
+    total = sum(s.duration for s in spans if s.parent is None)
+    document: dict = {
+        "label": source_label,
+        "spans": len(spans),
+        "traced_seconds": round(total, 6),
+        "passes": [
+            {
+                "name": row.name,
+                "calls": row.count,
+                "total_seconds": round(row.total_seconds, 6),
+                "self_seconds": round(row.self_seconds, 6),
+            }
+            for row in pass_table(spans)[:top]
+        ],
+        "functions": [
+            {
+                "unit": row.unit,
+                "self_seconds": round(row.self_seconds, 6),
+                "smt_queries": row.smt_queries,
+                "hottest_pass": row.hottest_pass,
+            }
+            for row in unit_table(spans)[:top]
+        ],
+    }
+    if measurement is not None:
+        document["wall_seconds"] = round(measurement.seconds, 6)
+        document["peak_mb"] = round(measurement.peak_mb, 3)
+    smt_queries = registry.get("smt.queries")
+    smt_hist = registry.get("smt.solve_seconds")
+    smt: dict = {}
+    if smt_queries is not None and smt_queries.total():
+        smt["queries"] = int(smt_queries.total())
+    if isinstance(smt_hist, Histogram) and smt_hist.total_count():
+        smt["solve_seconds"] = {
+            key: round(value, 6)
+            for key, value in smt_hist.merged_quantiles().items()
+        }
+    if smt:
+        document["smt"] = smt
+    return document
+
+
 def _fmt_seconds(seconds: float) -> str:
     if seconds >= 1:
         return f"{seconds:.2f}s"

@@ -233,8 +233,11 @@ class Tracer:
         return json.dumps(self.to_chrome_trace(process_name), indent=indent)
 
     def write_chrome_trace(self, path: str, process_name: str = "repro") -> None:
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write(self.to_chrome_json(process_name))
+        """Atomic export (temp file + rename, parent dirs created), so a
+        viewer reloading the path never sees a half-written JSON."""
+        from repro.obs.export import atomic_write
+
+        atomic_write(path, self.to_chrome_json(process_name))
 
     def summary(self) -> Dict[str, Any]:
         """Small machine-readable digest (for JSON/SARIF payloads)."""

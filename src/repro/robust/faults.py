@@ -35,7 +35,11 @@ ENV_VAR = "REPRO_FAULTS"
 #: ``sched`` is special: it is consumed inside worker processes of the
 #: parallel scheduler and kills the worker outright (``os._exit``)
 #: instead of raising, to exercise the parent's crash-quarantine path.
-SITES = ("parse", "prepare", "seg", "smt", "sched")
+#: ``slow`` is also special: it does not raise — the unit field encodes
+#: a sleep in seconds (``slow:0.25``) consumed by :func:`slow_point` in
+#: the CLI's measured region, so perf-regression detection can be
+#: exercised deterministically.
+SITES = ("parse", "prepare", "seg", "smt", "sched", "slow")
 
 
 class InjectedFault(RuntimeError):
@@ -143,6 +147,43 @@ def fault_point(site: str, unit: str = "") -> None:
             return
     if plan.should_fire(site, unit):
         raise InjectedFault(site, unit)
+
+
+def consume_slow(plan: Optional[FaultPlan]) -> float:
+    """Seconds of injected slowdown armed on ``plan``, consuming one
+    firing of each matching ``slow`` rule.  The rule's *unit* field
+    carries the duration: ``slow:0.25`` sleeps a quarter second."""
+    if plan is None:
+        return 0.0
+    total = 0.0
+    for (site, unit), count in list(plan._rules.items()):
+        if site != "slow":
+            continue
+        if count is not None:
+            if count <= 0:
+                continue
+            plan._rules[(site, unit)] = count - 1
+        try:
+            total += float(unit) if unit else 1.0
+        except ValueError:
+            raise ValueError(
+                f"slow fault unit must be seconds, got {unit!r}"
+            ) from None
+    return total
+
+
+def slow_point() -> None:
+    """Sleep for any armed ``slow`` fault (no-op without a plan).
+
+    Sits inside the CLI's measured analysis region so an injected
+    slowdown shows up in the run record's wall time — the deterministic
+    way to make ``repro history trend --check`` fail in tests and CI.
+    """
+    seconds = consume_slow(active_plan())
+    if seconds > 0:
+        import time
+
+        time.sleep(seconds)
 
 
 def faults_pending() -> List[str]:  # pragma: no cover - debugging aid

@@ -57,6 +57,7 @@ from repro.ir.lower import lower_program
 from repro.lang import ast
 from repro.obs.log import get_logger
 from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.progress import get_progress
 from repro.obs.trace import Span, get_tracer, trace
 from repro.robust.budget import ResourceBudget
 from repro.robust.diagnostics import (
@@ -149,6 +150,11 @@ def prepare_program(
     registry.gauge("sched.waves", "Call-graph waves of the last run").set(
         len(waves)
     )
+    progress = get_progress()
+    progress.set_stage(
+        "prepare", functions=len(serial_order), waves=len(waves), jobs=effective_jobs
+    )
+    progress.set_functions_total(len(serial_order))
 
     signatures: Dict[str, Any] = {}
     outcomes: Dict[str, _Outcome] = {}
@@ -241,6 +247,23 @@ def prepare_program(
                         and digest_of.get(name)
                     ):
                         store.put(digest_of[name], name, result, out.seg)
+
+            wave_outcomes = [outcomes[name] for name in names]
+            progress.wave_progress(
+                done=wave_index + 1,
+                total=len(waves),
+                prepared=sum(
+                    1
+                    for out in wave_outcomes
+                    if out.kind == "prepared" and out.admitted
+                ),
+                cached=sum(1 for out in wave_outcomes if out.cached),
+                quarantined=sum(
+                    1
+                    for out in wave_outcomes
+                    if out.kind != "prepared" or not out.admitted
+                ),
+            )
     finally:
         if pool is not None:
             pool.close()

@@ -225,6 +225,31 @@ def test_profile_smoke(uaf_file, capsys):
     assert "main" in out
 
 
+def test_profile_json(uaf_file, capsys):
+    code = main(["profile", uaf_file, "--json"])
+    assert code == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["label"] == uaf_file
+    assert document["checkers"]
+    assert document["reports"] >= 1
+    assert document["passes"], "per-pass table missing from --json profile"
+    for row in document["passes"]:
+        assert {"name", "calls", "total_seconds", "self_seconds"} <= set(row)
+    assert document["functions"]
+
+
+def test_check_stats_quantile_line(uaf_file, capsys):
+    main(["check", uaf_file, "--stats"])
+    out = capsys.readouterr().out
+    assert "[quantiles] smt.solve_seconds" in out
+    assert "p50=" in out and "p95=" in out and "p99=" in out
+
+
+def test_check_stats_quantiles_absent_without_smt(uaf_file, capsys):
+    main(["check", uaf_file, "--stats", "--no-smt"])
+    assert "[quantiles]" not in capsys.readouterr().out
+
+
 def test_obs_state_does_not_leak_between_runs(uaf_file, tmp_path, capsys):
     from repro.obs import get_registry, get_tracer
 

@@ -1,0 +1,87 @@
+"""Tests for atomic artifact exports (repro.obs.export and the CLI
+--metrics-out / --trace paths built on it)."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.obs.export import atomic_write, ensure_parent_dir
+
+UAF = """
+fn main() {
+    p = malloc();
+    free(p);
+    x = *p;
+    return x;
+}
+"""
+
+
+@pytest.fixture
+def uaf_file(tmp_path):
+    path = tmp_path / "uaf.pin"
+    path.write_text(UAF)
+    return str(path)
+
+
+def test_atomic_write_creates_parent_dirs(tmp_path):
+    target = tmp_path / "a" / "b" / "out.json"
+    atomic_write(str(target), "{}\n")
+    assert target.read_text() == "{}\n"
+
+
+def test_atomic_write_replaces_existing(tmp_path):
+    target = tmp_path / "out.txt"
+    target.write_text("old")
+    atomic_write(str(target), "new")
+    assert target.read_text() == "new"
+
+
+def test_atomic_write_leaves_no_temp_files(tmp_path):
+    target = tmp_path / "out.txt"
+    atomic_write(str(target), "x" * 10_000)
+    assert os.listdir(tmp_path) == ["out.txt"]
+
+
+def test_atomic_write_failure_cleans_temp(tmp_path):
+    class Exploding:
+        def __str__(self):
+            raise RuntimeError("boom")
+
+    target = tmp_path / "out.txt"
+    target.write_text("original")
+    with pytest.raises(TypeError):
+        atomic_write(str(target), Exploding())  # write() rejects non-str
+    # the original is untouched and no temp file was left behind
+    assert target.read_text() == "original"
+    assert os.listdir(tmp_path) == ["out.txt"]
+
+
+def test_ensure_parent_dir_tolerates_bare_filename(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    ensure_parent_dir("bare.txt")  # no parent component: must not raise
+
+
+def test_cli_metrics_out_nested_dir(uaf_file, tmp_path):
+    target = tmp_path / "artifacts" / "deep" / "metrics.json"
+    main(["check", uaf_file, "--metrics-out", str(target)])
+    payload = json.loads(target.read_text())
+    assert any(name.startswith("engine.") for name in payload)
+    assert os.listdir(target.parent) == ["metrics.json"]
+
+
+def test_cli_metrics_out_prometheus_text(uaf_file, tmp_path):
+    target = tmp_path / "metrics.prom"
+    main(["check", uaf_file, "--metrics-out", str(target)])
+    text = target.read_text()
+    assert "# TYPE repro_" in text
+
+
+def test_cli_trace_nested_dir(uaf_file, tmp_path):
+    target = tmp_path / "artifacts" / "trace.json"
+    main(["check", uaf_file, "--trace", str(target)])
+    events = json.loads(target.read_text())["traceEvents"]
+    assert events, "trace export produced no events"
+    assert os.listdir(target.parent) == ["trace.json"]
