@@ -1,0 +1,306 @@
+"""Write-ahead run journal: crash-durable per-function completion log.
+
+Pinpoint's bottom-up phase is a long sequence of independent
+per-function summary computations — exactly the shape that should
+survive a mid-run crash instead of restarting from zero.  The journal
+makes it so: one JSONL file under the cache dir (or the history dir
+when no cache is configured) that records, ahead of any further
+progress,
+
+- a ``begin`` header with the program fingerprint, the condensation
+  fingerprint, and the wave-plan shape,
+- one ``fn`` record per *completed* function — its name, its wave, and
+  its AST×interface cache digest (:mod:`repro.cache.keys`, the same key
+  ``core.incremental`` and the on-disk store share), appended only
+  after the function's artifacts are safely in the summary store,
+- a ``wave`` record at each wave barrier, and an ``end`` record when
+  preparation finishes.
+
+Appends are single-``write`` ``O_APPEND`` lines
+(:func:`repro.obs.export.append_line`), so a SIGKILLed or OOM-killed
+run tears at most the final line; the reader skips an unparsable tail
+and every *prefix* of a journal is a consistent description of real
+progress.  Header (re)writes go through the same temp-file +
+``os.replace`` discipline as every other exported artifact.
+
+``repro check --resume`` (or ``REPRO_RESUME=1``) loads the journal,
+validates it against the current program fingerprint, and hands the
+scheduler the completed digest set: a function is skipped only when its
+*currently computed* digest is journaled **and** the summary store
+still holds that entry, so resuming after a source edit invalidates
+exactly the changed functions (and their interface-affected callers) —
+the normal incremental story, not a wholesale journal rejection.
+Because skipped functions replay from the same content-addressed
+artifacts an uninterrupted run would have produced, a resumed run's
+report is byte-identical to an uninterrupted one.
+
+Transient journal-write failures retry under the unified
+:mod:`repro.robust.retry` policy; a persistent failure (``disk-full``
+fault, read-only volume) disables journaling for the rest of the run —
+durability degrades, the analysis never dies for it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set
+
+from repro.obs.export import append_line, atomic_write
+from repro.obs.log import get_logger
+from repro.obs.metrics import get_registry
+from repro.robust.faults import disk_full_point, torn_write_armed
+from repro.robust.retry import RetryPolicy, with_retries
+
+_log = get_logger("cache.journal")
+
+#: Bump when the journal record shapes change; a mismatched journal is
+#: ignored (fresh run), never misread.
+JOURNAL_SCHEMA = 1
+
+#: File name under the journal directory.
+JOURNAL_FILE = "journal.jsonl"
+
+#: Environment fallback for ``--resume``.
+RESUME_ENV = "REPRO_RESUME"
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+
+def resolve_resume(explicit: bool = False) -> bool:
+    """CLI flag > ``REPRO_RESUME`` env var > off."""
+    if explicit:
+        return True
+    return os.environ.get(RESUME_ENV, "").strip().lower() in _TRUTHY
+
+
+def journal_dir(cache_dir: str = "", history_dir: str = "") -> str:
+    """Where the journal lives: the cache dir when caching is on (the
+    artifacts a resume replays live there too), else the history dir."""
+    return cache_dir or history_dir or ""
+
+
+def open_journal(
+    cache_dir: str = "", history_dir: str = ""
+) -> Optional["RunJournal"]:
+    """A :class:`RunJournal` under the resolved dir, or None when
+    neither a cache nor a history dir is configured."""
+    directory = journal_dir(cache_dir, history_dir)
+    if not directory:
+        return None
+    return RunJournal(os.path.join(directory, JOURNAL_FILE))
+
+
+@dataclass
+class JournalState:
+    """A parsed journal: the consistent prefix a previous run left."""
+
+    program_fingerprint: str = ""
+    condensation: str = ""
+    waves: int = 0
+    functions: int = 0
+    #: digest -> function name, for every journaled completion.
+    completed: Dict[str, str] = field(default_factory=dict)
+    completed_waves: Set[int] = field(default_factory=set)
+    finished: bool = False
+    torn_tail: bool = False
+
+
+class RunJournal:
+    """One journal file: append-side for the scheduler, read-side for
+    ``--resume``.  Never raises out of a write — journaling failures
+    degrade durability, not the analysis."""
+
+    def __init__(
+        self, path: str, policy: Optional[RetryPolicy] = None
+    ) -> None:
+        self.path = path
+        self.policy = policy or RetryPolicy()
+        self.broken = False
+
+    # -- write side ----------------------------------------------------
+    def begin(
+        self,
+        *,
+        program_fingerprint: str,
+        condensation: str,
+        waves: int,
+        functions: int,
+        jobs: int,
+        resumed_from: Optional[JournalState] = None,
+    ) -> None:
+        """Start journaling this run.
+
+        A fresh run rewrites the file atomically (one header line), so
+        a stale journal can never leak completions into a new run; a
+        resumed run keeps the existing prefix and appends a ``resume``
+        marker instead."""
+        header = {
+            "kind": "begin",
+            "schema": JOURNAL_SCHEMA,
+            "program": program_fingerprint,
+            "condensation": condensation,
+            "waves": waves,
+            "functions": functions,
+            "jobs": jobs,
+            "ts": round(time.time(), 3),
+        }
+        if resumed_from is not None:
+            self._append(
+                {
+                    "kind": "resume",
+                    "schema": JOURNAL_SCHEMA,
+                    "program": program_fingerprint,
+                    "condensation": condensation,
+                    "prior_completed": len(resumed_from.completed),
+                    "source_changed": (
+                        resumed_from.program_fingerprint != program_fingerprint
+                    ),
+                    "ts": round(time.time(), 3),
+                }
+            )
+            return
+        try:
+            with_retries(
+                lambda: self._write_header(header),
+                unit="journal",
+                site="journal",
+                policy=self.policy,
+            )
+            get_registry().counter(
+                "journal.writes", "Run-journal records appended"
+            ).inc()
+        except OSError as error:
+            self._disable(error)
+
+    def _write_header(self, header: Dict[str, Any]) -> None:
+        disk_full_point("journal")
+        atomic_write(self.path, json.dumps(header, sort_keys=True) + "\n")
+
+    def record_function(self, name: str, digest: str, wave: int) -> None:
+        self._append(
+            {"kind": "fn", "name": name, "digest": digest, "wave": wave}
+        )
+
+    def record_wave(self, wave: int) -> None:
+        self._append({"kind": "wave", "wave": wave})
+
+    def finish(self) -> None:
+        self._append({"kind": "end"})
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        if self.broken:
+            return
+        line = json.dumps(record, sort_keys=True)
+        if torn_write_armed(record.get("name", "") or record.get("kind", "")):
+            # A crash mid-append: half a record, no newline, then
+            # silence.  The analysis itself is unaffected; whatever was
+            # being journaled simply recomputes on resume.
+            get_registry().counter(
+                "journal.torn_writes", "Injected torn journal appends"
+            ).inc()
+            try:
+                append_line(self.path, line[: max(1, len(line) // 2)])
+            except OSError:
+                pass
+            self.broken = True
+            return
+        try:
+            with_retries(
+                lambda: self._append_once(line),
+                unit=record.get("name", "journal"),
+                site="journal",
+                policy=self.policy,
+            )
+            get_registry().counter(
+                "journal.writes", "Run-journal records appended"
+            ).inc()
+        except OSError as error:
+            self._disable(error)
+
+    def _append_once(self, line: str) -> None:
+        disk_full_point("journal")
+        append_line(self.path, line)
+
+    def _disable(self, error: BaseException) -> None:
+        self.broken = True
+        get_registry().counter(
+            "journal.errors", "Run-journal writes abandoned after retries"
+        ).inc()
+        _log.warning(
+            "journal disabled: writes keep failing; this run will not be "
+            "resumable",
+            path=self.path,
+            error=f"{type(error).__name__}: {error}",
+        )
+
+    # -- read side -----------------------------------------------------
+    def load(self) -> Optional[JournalState]:
+        """Parse the journal into a :class:`JournalState`.
+
+        Returns None when the file is absent, its header is missing or
+        unreadable, or it was written by a different schema — resume
+        degrades to a fresh run in every such case.  Unparsable lines
+        after the header (a torn tail) are skipped: every record before
+        them still describes real, durable progress."""
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except OSError:
+            return None
+        state: Optional[JournalState] = None
+        for raw in lines:
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                record = json.loads(raw)
+            except ValueError:
+                if state is not None:
+                    state.torn_tail = True
+                continue
+            if not isinstance(record, dict):
+                continue
+            kind = record.get("kind")
+            if state is None:
+                if kind != "begin" or record.get("schema") != JOURNAL_SCHEMA:
+                    return None
+                state = JournalState(
+                    program_fingerprint=str(record.get("program", "")),
+                    condensation=str(record.get("condensation", "")),
+                    waves=int(record.get("waves", 0) or 0),
+                    functions=int(record.get("functions", 0) or 0),
+                )
+                continue
+            if kind == "fn":
+                digest = record.get("digest")
+                name = record.get("name")
+                if isinstance(digest, str) and isinstance(name, str):
+                    state.completed[digest] = name
+            elif kind == "wave":
+                try:
+                    state.completed_waves.add(int(record["wave"]))
+                except (KeyError, TypeError, ValueError):
+                    pass
+            elif kind == "end":
+                state.finished = True
+        return state
+
+    def records(self) -> List[Dict[str, Any]]:
+        """Every parsable record, for tests and debugging."""
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except OSError:
+            return []
+        out: List[Dict[str, Any]] = []
+        for raw in lines:
+            try:
+                record = json.loads(raw)
+            except ValueError:
+                continue
+            if isinstance(record, dict):
+                out.append(record)
+        return out

@@ -23,6 +23,8 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.cache.keys import SCHEMA_VERSION
 from repro.obs.metrics import get_registry
+from repro.robust.faults import disk_full_point
+from repro.robust.retry import RetryPolicy, with_retries
 
 #: Environment fallback for ``--cache-dir``.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -91,23 +93,17 @@ class SummaryStore:
         return payload
 
     def put(self, digest: str, name: str, prepared: Any, seg: Any = None) -> bool:
-        """Atomically persist one entry; False (and no trace) on error."""
-        path = self._path(digest)
-        directory = os.path.dirname(path)
-        tmp_path = ""
+        """Atomically persist one entry; False (and no trace) on error.
+
+        Transient filesystem errors (``ENOSPC``, an NFS hiccup) retry
+        under the unified :mod:`repro.robust.retry` backoff before the
+        store gives up; deterministic failures (an unpicklable payload)
+        fail immediately — retrying them would only burn the budget."""
         try:
-            os.makedirs(directory, exist_ok=True)
             payload = pickle.dumps(
                 (name, prepared, seg), protocol=pickle.HIGHEST_PROTOCOL
             )
-            fd, tmp_path = tempfile.mkstemp(
-                prefix=".tmp-", suffix=_ENTRY_SUFFIX, dir=directory
-            )
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(payload)
-            os.replace(tmp_path, path)
         except (
-            OSError,
             pickle.PicklingError,
             RecursionError,
             # pickle raises these (not PicklingError) for unpicklable
@@ -115,14 +111,39 @@ class SummaryStore:
             AttributeError,
             TypeError,
         ):
+            return False
+        try:
+            with_retries(
+                lambda: self._put_once(digest, payload),
+                unit=digest[:12],
+                site="cache",
+                policy=RetryPolicy(),
+            )
+        except OSError:
+            return False
+        self._counter("cache.writes", "Artifact-store entries written").inc()
+        return True
+
+    def _put_once(self, digest: str, payload: bytes) -> None:
+        path = self._path(digest)
+        directory = os.path.dirname(path)
+        tmp_path = ""
+        try:
+            disk_full_point(digest[:12])
+            os.makedirs(directory, exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(
+                prefix=".tmp-", suffix=_ENTRY_SUFFIX, dir=directory
+            )
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            os.replace(tmp_path, path)
+        except OSError:
             if tmp_path:
                 try:
                     os.unlink(tmp_path)
                 except OSError:
                     pass
-            return False
-        self._counter("cache.writes", "Artifact-store entries written").inc()
-        return True
+            raise
 
     # ------------------------------------------------------------------
     def _evict(self, path: str) -> None:

@@ -287,6 +287,8 @@ class Pinpoint:
         jobs: Optional[int] = None,
         cache_dir: Optional[str] = None,
         worker_timeout: float = 0.0,
+        journal=None,
+        resume: bool = False,
     ) -> "Pinpoint":
         """Parse, prepare and index a program.
 
@@ -294,8 +296,11 @@ class Pinpoint:
         ``cache_dir`` persists per-function artifacts across runs.
         When either is left unset, the ``REPRO_JOBS`` /
         ``REPRO_CACHE_DIR`` environment variables apply (an explicit
-        ``jobs=1`` wins over the environment).  Reports are
-        byte-identical to a serial, uncached run."""
+        ``jobs=1`` wins over the environment).  ``journal`` (a
+        :class:`repro.cache.RunJournal`) makes the preparation phase
+        crash-durable and ``resume=True`` replays a previous run's
+        journaled prefix.  Reports are byte-identical to a serial,
+        uncached, uninterrupted run."""
         from repro.cache import open_store
         from repro.sched import resolve_jobs
 
@@ -310,6 +315,8 @@ class Pinpoint:
                 jobs=resolve_jobs(jobs),
                 store=store,
                 worker_timeout=worker_timeout,
+                journal=journal,
+                resume=resume,
             ),
             config,
             budget,

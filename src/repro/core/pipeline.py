@@ -291,6 +291,8 @@ def prepare_source(
     jobs: int = 1,
     store=None,
     worker_timeout: float = 0.0,
+    journal=None,
+    resume: bool = False,
 ) -> PreparedModule:
     """Parse and prepare a program given as source text.
 
@@ -301,7 +303,10 @@ def prepare_source(
     ``jobs > 1`` prepares call-graph waves on a process pool and
     ``store`` (a :class:`repro.cache.SummaryStore`) persists/loads
     per-function artifacts; both route through the wave scheduler,
-    which guarantees results identical to the serial path."""
+    which guarantees results identical to the serial path.  ``journal``
+    (a :class:`repro.cache.RunJournal`) write-ahead-logs per-function
+    completion for crash durability, and ``resume=True`` replays the
+    journaled prefix of a previous run from the store."""
     if budget is not None:
         budget.start()
     get_progress().set_stage("parse")
@@ -309,7 +314,8 @@ def prepare_source(
         with trace("parse", unit="<module>"):
             program = parse_program(source)
         return _prepare(
-            program, budget, diagnostics, verify, jobs, store, worker_timeout
+            program, budget, diagnostics, verify, jobs, store, worker_timeout,
+            journal, resume,
         )
     log = diagnostics if diagnostics is not None else DiagnosticLog()
     with trace("parse", unit="<module>") as span:
@@ -323,7 +329,10 @@ def prepare_source(
             detail=error.message,
             line=error.line,
         )
-    return _prepare(program, budget, log, verify, jobs, store, worker_timeout)
+    return _prepare(
+        program, budget, log, verify, jobs, store, worker_timeout, journal,
+        resume,
+    )
 
 
 def _prepare(
@@ -334,10 +343,12 @@ def _prepare(
     jobs: int,
     store,
     worker_timeout: float,
+    journal=None,
+    resume: bool = False,
 ) -> PreparedModule:
-    """Serial pipeline, or the wave scheduler when parallelism or the
-    artifact cache is requested."""
-    if jobs and jobs > 1 or store is not None:
+    """Serial pipeline, or the wave scheduler when parallelism, the
+    artifact cache, or the run journal is requested."""
+    if jobs and jobs > 1 or store is not None or journal is not None:
         from repro.sched.scheduler import prepare_program
 
         return prepare_program(
@@ -348,5 +359,7 @@ def _prepare(
             verify=verify,
             store=store,
             worker_timeout=worker_timeout,
+            journal=journal,
+            resume=resume,
         )
     return prepare_module(program, budget, diagnostics, verify=verify)

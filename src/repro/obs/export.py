@@ -23,6 +23,31 @@ def ensure_parent_dir(path: str) -> None:
         os.makedirs(directory, exist_ok=True)
 
 
+def append_line(path: str, line: str, fsync: bool = False) -> None:
+    """Append one line to ``path`` with a single ``os.write``.
+
+    The companion of :func:`atomic_write` for append-only logs (the run
+    journal, history ``runs.jsonl``): a whole-file rewrite per record
+    would be quadratic, so appends go through one ``write(2)`` on an
+    ``O_APPEND`` descriptor instead.  A crash (SIGKILL, OOM-kill) can
+    tear at most the final line — page-cache writes survive process
+    death — and every reader of these files skips an unparsable tail.
+    ``fsync=True`` additionally flushes to stable storage for callers
+    that must survive power loss, at real latency cost.
+    """
+    ensure_parent_dir(path)
+    data = line.encode("utf-8")
+    if not data.endswith(b"\n"):
+        data += b"\n"
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, data)
+        if fsync:
+            os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
 def atomic_write(path: str, text: str) -> None:
     """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
 

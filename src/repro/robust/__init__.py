@@ -37,13 +37,26 @@ from repro.robust.faults import (
     FaultPlan,
     InjectedFault,
     active_plan,
+    disk_full_point,
     fault_point,
     install_faults,
     reset_faults,
+    torn_write_armed,
 )
 from repro.robust.quarantine import Quarantine
+from repro.robust.retry import (
+    ACTION_ISOLATE,
+    ACTION_QUARANTINE,
+    ACTION_RETRY,
+    RetryPolicy,
+    RetrySupervisor,
+    with_retries,
+)
 
 __all__ = [
+    "ACTION_ISOLATE",
+    "ACTION_QUARANTINE",
+    "ACTION_RETRY",
     "BudgetExhausted",
     "Diagnostic",
     "DiagnosticLog",
@@ -51,8 +64,13 @@ __all__ = [
     "InjectedFault",
     "Quarantine",
     "ResourceBudget",
+    "RetryPolicy",
+    "RetrySupervisor",
     "active_plan",
+    "disk_full_point",
     "fault_point",
     "install_faults",
     "reset_faults",
+    "torn_write_armed",
+    "with_retries",
 ]

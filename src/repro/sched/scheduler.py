@@ -41,11 +41,13 @@ could not observe a shared deadline.  Cache lookups still apply.
 
 from __future__ import annotations
 
+import hashlib
 import pickle
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.cache.keys import key_digest, prepare_cache_key
+from repro.cache.journal import JournalState, RunJournal
+from repro.cache.keys import ast_fingerprint, key_digest, prepare_cache_key
 from repro.cache.store import SummaryStore
 from repro.core.pipeline import (
     PreparedFunction,
@@ -101,9 +103,18 @@ def prepare_program(
     verify: str = "",
     store: Optional[SummaryStore] = None,
     worker_timeout: float = 0.0,
+    journal: Optional[RunJournal] = None,
+    resume: bool = False,
 ) -> PreparedModule:
     """Prepare a parsed program across ``jobs`` processes with optional
-    artifact caching; drop-in replacement for ``prepare_module``."""
+    artifact caching; drop-in replacement for ``prepare_module``.
+
+    ``journal`` write-ahead-logs per-function completion so a killed
+    run leaves a consistent prefix; ``resume=True`` loads that prefix
+    and skips every journaled function whose current cache digest still
+    resolves in ``store`` — re-entering, effectively, at the first
+    incomplete wave, with reports byte-identical to an uninterrupted
+    run (skips replay the same content-addressed artifacts)."""
     from repro.verify import (
         MODE_OFF,
         SEVERITY_ERROR,
@@ -160,6 +171,41 @@ def prepare_program(
     outcomes: Dict[str, _Outcome] = {}
     digest_of: Dict[str, str] = {}
 
+    # Crash durability: fingerprint the condensation, load any prior
+    # journal when resuming, and (re)start journaling this run.
+    journal_completed: frozenset = frozenset()
+    resume_entered = False  # first non-skipped function seen yet?
+    if journal is not None:
+        program_fp, condensation_fp = _condensation_fingerprints(
+            ast_by_name, serial_order, waves
+        )
+        state: Optional[JournalState] = journal.load() if resume else None
+        if resume and state is None:
+            _log.warning(
+                "resume requested but no usable run journal; starting fresh",
+                path=journal.path,
+            )
+        if state is not None:
+            journal_completed = frozenset(state.completed)
+            if state.program_fingerprint != program_fp:
+                _log.info(
+                    "source changed since the journaled run; resuming "
+                    "incrementally (only matching functions are skipped)",
+                    journaled=state.program_fingerprint,
+                    current=program_fp,
+                )
+        journal.begin(
+            program_fingerprint=program_fp,
+            condensation=condensation_fp,
+            waves=len(waves),
+            functions=len(serial_order),
+            jobs=effective_jobs,
+            resumed_from=state,
+        )
+        registry.gauge(
+            "sched.resumed", "1 when the last run resumed from a run journal"
+        ).set(1 if state is not None else 0)
+
     pool = WorkerPool(effective_jobs, timeout=worker_timeout) if effective_jobs > 1 else None
     try:
         for wave_index, wave in enumerate(waves):
@@ -173,20 +219,36 @@ def prepare_program(
                         for callee, sig in signatures.items()
                         if scc_of.get(callee) != scc_of.get(name)
                     }
-                    if store is not None:
+                    if store is not None or journal is not None:
                         digest = key_digest(
                             prepare_cache_key(
                                 func_ast, usable, callgraph.callees.get(name, ())
                             )
                         )
                         digest_of[name] = digest
-                        hit = store.get(digest)
+                        hit = store.get(digest) if store is not None else None
                         if hit is not None:
                             _stored, result, seg = hit
                             outcomes[name] = _Outcome(
                                 "prepared", result=result, seg=seg, cached=True
                             )
+                            if digest in journal_completed:
+                                # A journaled completion replayed from the
+                                # store: this is the resume fast path.
+                                registry.counter(
+                                    "journal.skips",
+                                    "Functions skipped on --resume (journaled "
+                                    "and still cache-resident)",
+                                ).inc()
                             continue
+                    if journal_completed and not resume_entered:
+                        # First function the journal cannot vouch for:
+                        # the wave we effectively re-enter the run at.
+                        resume_entered = True
+                        registry.gauge(
+                            "sched.resume_wave",
+                            "First incomplete wave a resumed run re-entered at",
+                        ).set(wave_index)
                     pending.append((name, func_ast, usable))
                 span.set(
                     functions=len(names),
@@ -202,7 +264,7 @@ def prepare_program(
                         (
                             name,
                             pickle.dumps(
-                                (name, func_ast, usable),
+                                (name, func_ast, usable, wave_index),
                                 protocol=pickle.HIGHEST_PROTOCOL,
                             ),
                         )
@@ -241,13 +303,27 @@ def prepare_program(
                             out.admitted = False
                             continue
                     signatures[name] = result.signature
+                    stored = out.cached
                     if (
                         store is not None
                         and not out.cached
                         and digest_of.get(name)
                     ):
-                        store.put(digest_of[name], name, result, out.seg)
+                        stored = store.put(digest_of[name], name, result, out.seg)
+                    if (
+                        journal is not None
+                        and digest_of.get(name)
+                        and (stored or store is None)
+                    ):
+                        # Journal only completions whose artifacts are
+                        # durable (or that need no store at all): a
+                        # journaled digest must be replayable on resume.
+                        journal.record_function(
+                            name, digest_of[name], wave_index
+                        )
 
+            if journal is not None:
+                journal.record_wave(wave_index)
             wave_outcomes = [outcomes[name] for name in names]
             progress.wave_progress(
                 done=wave_index + 1,
@@ -303,6 +379,8 @@ def prepare_program(
         if out.seg is not None:
             prepared.segs[name] = out.seg
 
+    if journal is not None:
+        journal.finish()
     _log.info(
         "module prepared",
         functions=len(prepared.functions),
@@ -312,6 +390,30 @@ def prepare_program(
         cached=sum(1 for out in outcomes.values() if out.cached),
     )
     return prepared
+
+
+def _condensation_fingerprints(
+    ast_by_name: Dict[str, ast.FuncDef],
+    serial_order: List[str],
+    waves,
+) -> Tuple[str, str]:
+    """(program fingerprint, condensation fingerprint) for the journal.
+
+    The program fingerprint hashes every function's structural AST
+    fingerprint (whitespace/comment-insensitive, like the cache keys);
+    the condensation fingerprint additionally hashes the SCC wave plan,
+    so a resumed run can tell "same source" from "same source, same
+    schedule" when annotating its records."""
+    lines = [
+        f"{name}:{ast_fingerprint(ast_by_name[name])}"
+        for name in sorted(serial_order)
+    ]
+    program_fp = hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()[:16]
+    plan = repr([sorted(tuple(scc) for scc in wave) for wave in waves])
+    condensation_fp = hashlib.sha256(
+        (program_fp + plan).encode("utf-8")
+    ).hexdigest()[:16]
+    return program_fp, condensation_fp
 
 
 # ----------------------------------------------------------------------

@@ -2,8 +2,8 @@
 
 Each task prepares exactly one function (stage 1-3: connector
 transformation, intraprocedural points-to, SEG build) from a pickled
-``(name, FuncDef AST, usable callee signatures)`` payload and ships back
-a pickled outcome tuple:
+``(name, FuncDef AST, usable callee signatures, wave index)`` payload
+and ships back a pickled outcome tuple:
 
 - ``("ok", name, PreparedFunction, SEG | None, seg_error, registry,
   spans)`` — the function prepared; ``seg_error`` is set (and the SEG
@@ -26,7 +26,10 @@ never shared between processes.
 The ``sched`` fault site (``--fault sched:<fn>`` / ``REPRO_FAULTS``)
 kills the worker process outright via ``os._exit`` — deliberately not a
 Python exception — so tests and CI can prove the parent's crash
-quarantine path fires on real process death.
+quarantine path fires on real process death.  ``kill-worker:<wave>``
+does the same keyed by the call-graph wave index the payload carries,
+so crash/resume tests can take down every worker of one specific wave
+and prove the run journal left a consistent prefix behind.
 """
 
 from __future__ import annotations
@@ -62,12 +65,16 @@ def prepare_task(payload: bytes) -> bytes:
     from repro.core.pipeline import prepare_function
     from repro.seg.builder import build_seg
 
-    name, func_ast, usable = pickle.loads(payload)
+    name, func_ast, usable, wave_index = pickle.loads(payload)
 
     # Simulated hard crash: die like a segfaulting worker would, without
     # unwinding — the parent must survive via the broken-pool protocol.
+    # ``sched`` is keyed by function name, ``kill-worker`` by wave index.
     plan = active_plan()
-    if plan is not None and plan.should_fire("sched", name):
+    if plan is not None and (
+        plan.should_fire("sched", name)
+        or plan.should_fire("kill-worker", str(wave_index))
+    ):
         os._exit(3)
 
     registry = set_registry(MetricsRegistry())

@@ -132,7 +132,15 @@ def test_collect_run_record_empty_registry():
     )
     assert rec["stages"] == {}
     assert rec["quantiles"] == {}
-    assert rec["sched"] == {"jobs": 0, "waves": 0, "tasks": 0}
+    assert rec["sched"] == {
+        "jobs": 0,
+        "waves": 0,
+        "tasks": 0,
+        "resumed": False,
+        "resume_wave": 0,
+        "journal_skips": 0,
+        "retries": 0,
+    }
 
 
 # ----------------------------------------------------------------------
