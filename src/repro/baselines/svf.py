@@ -114,10 +114,10 @@ class SVFBaseline:
                         if isinstance(operand, cfg.Var):
                             self._add_edge((name, operand.name), (name, instr.dest))
                 elif isinstance(instr, cfg.Store):
-                    for obj in andersen.points_to(name, instr.pointer.name):
+                    for obj in andersen.sorted_points_to(name, instr.pointer.name):
                         stores_by_object.setdefault(obj, []).append((name, instr))
                 elif isinstance(instr, cfg.Load):
-                    for obj in andersen.points_to(name, instr.pointer.name):
+                    for obj in andersen.sorted_points_to(name, instr.pointer.name):
                         loads_by_object.setdefault(obj, []).append((name, instr))
                 elif isinstance(instr, cfg.Call) and instr.callee in self.module:
                     callee = self.module[instr.callee]

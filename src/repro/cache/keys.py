@@ -29,7 +29,7 @@ from repro.transform.connectors import ConnectorSignature
 #: fields, SSA naming, SEG vertex scheme, PointsToResult layout, or
 #: connector signature fields.  Old version directories are pruned the
 #: first time a newer-schema store opens the same cache dir.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 def signature_fingerprint(signature: ConnectorSignature) -> Tuple:
@@ -54,6 +54,7 @@ def prepare_cache_key(
     func_ast: ast.FuncDef,
     usable_signatures: Dict[str, ConnectorSignature],
     own_callees: Iterable[str],
+    pta_tier: str = "fi",
 ) -> Tuple:
     """The full validity key for one function's prepared artifacts.
 
@@ -62,6 +63,10 @@ def prepare_cache_key(
     invalidate it.  Same-SCC callees are already absent from
     ``usable_signatures`` (recursion is unrolled once, so those calls
     are opaque and contribute nothing to the artifacts).
+
+    The precision tier is part of the key: fi- and fs-prepared artifacts
+    of the same function differ (strong updates change the heap states),
+    so they must never collide under one content address.
     """
     callees = set(own_callees)
     return (
@@ -73,6 +78,7 @@ def prepare_cache_key(
                 if callee in callees
             )
         ),
+        ("pta", pta_tier),
     )
 
 

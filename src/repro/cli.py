@@ -302,6 +302,7 @@ def cmd_check(args: argparse.Namespace) -> int:
         use_smt=not args.no_smt,
         use_linear_filter=not args.no_linear_filter,
         verify=args.verify,
+        pta_tier=getattr(args, "pta", "") or "",
     )
     names = list(CHECKERS) if args.all else [args.checker]
     history_on = bool(resolve_history_dir(getattr(args, "history_dir", "")))
@@ -455,6 +456,7 @@ def cmd_check(args: argparse.Namespace) -> int:
             "verify": args.verify,
             "fault": args.fault,
             "resume": resume,
+            "pta": engine.pta_tier,
         },
         wall_seconds=wall_seconds,
         peak_mb=peak_mb,
@@ -482,6 +484,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
     config = EngineConfig(
         max_call_depth=args.depth,
         use_smt=not args.no_smt,
+        pta_tier=getattr(args, "pta", "") or "",
     )
     names = [args.checker] if args.checker else list(CHECKERS)
 
@@ -908,6 +911,24 @@ def cmd_history_diff(args: argparse.Namespace) -> int:
                 int(old.get("sched", {}).get("journal_skips", 0)),
                 int(new.get("sched", {}).get("journal_skips", 0)),
             ],
+            "pta": {
+                "tier": [
+                    str(old.get("pta", {}).get("tier", "fi")),
+                    str(new.get("pta", {}).get("tier", "fi")),
+                ],
+                "strong_updates": [
+                    int(old.get("pta", {}).get("strong_updates", 0)),
+                    int(new.get("pta", {}).get("strong_updates", 0)),
+                ],
+                "weak_updates": [
+                    int(old.get("pta", {}).get("weak_updates", 0)),
+                    int(new.get("pta", {}).get("weak_updates", 0)),
+                ],
+                "escalations": [
+                    int(old.get("pta", {}).get("escalations", 0)),
+                    int(new.get("pta", {}).get("escalations", 0)),
+                ],
+            },
         }
         json.dump(document, sys.stdout, indent=2)
         print()
@@ -935,6 +956,24 @@ def cmd_history_diff(args: argparse.Namespace) -> int:
     print(f"  {'findings':<16} {old_f:>10} -> {new_f:>10} {new_f - old_f:+d}")
     if old["findings"].get("digest") != new["findings"].get("digest"):
         print("  findings digest changed (different bug sets)")
+    # A tier change explains wall/findings deltas — surface it loudly so
+    # an fi-vs-fs comparison never reads as silent perf/precision drift.
+    old_p = old.get("pta", {})
+    new_p = new.get("pta", {})
+    old_tier = str(old_p.get("tier", "fi"))
+    new_tier = str(new_p.get("tier", "fi"))
+    if old_tier != new_tier:
+        print(
+            f"  NOTE: PTA tier changed ({old_tier} -> {new_tier}); wall and "
+            "findings deltas reflect the precision tier, not drift"
+        )
+    pta_bits = []
+    for key in ("strong_updates", "weak_updates", "escalations"):
+        a, b = int(old_p.get(key, 0)), int(new_p.get(key, 0))
+        if a or b:
+            pta_bits.append(f"{key} {a} -> {b}")
+    if pta_bits:
+        print(f"  pta[{old_tier} -> {new_tier}] " + "; ".join(pta_bits))
     old_s = old.get("sched", {})
     new_s = new.get("sched", {})
     flags = []
@@ -1124,6 +1163,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     check.add_argument("--stats", action="store_true", help="print engine stats")
     check.add_argument("--depth", type=int, default=6, help="max calling contexts")
+    check.add_argument(
+        "--pta",
+        default="",
+        choices=["fi", "fs"],
+        help="points-to precision tier: fi (flow-insensitive baseline, "
+        "default) or fs (sparse flow-sensitive strong updates; functions "
+        "implicated in reports are escalated and re-confirmed; default: "
+        "the REPRO_PTA environment variable, else fi)",
+    )
     check.add_argument("--no-smt", action="store_true", help="path-insensitive mode")
     check.add_argument(
         "--no-linear-filter", action="store_true", help="skip the linear pre-filter"
@@ -1204,6 +1252,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the profile as JSON (the machine twin of the tables)",
     )
     profile.add_argument("--depth", type=int, default=6, help="max calling contexts")
+    profile.add_argument(
+        "--pta",
+        default="",
+        choices=["fi", "fs"],
+        help="points-to precision tier (fi | fs; default REPRO_PTA, else fi)",
+    )
     profile.add_argument(
         "--no-smt", action="store_true", help="path-insensitive mode"
     )
@@ -1333,6 +1387,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--update-baseline", default="", help=argparse.SUPPRESS)
     serve.add_argument("--stats", action="store_true", help="print engine stats")
     serve.add_argument("--depth", type=int, default=6, help="max calling contexts")
+    serve.add_argument(
+        "--pta",
+        default="",
+        choices=["fi", "fs"],
+        help="points-to precision tier (fi | fs; default REPRO_PTA, else fi)",
+    )
     serve.add_argument("--no-smt", action="store_true", help="path-insensitive mode")
     serve.add_argument(
         "--no-linear-filter", action="store_true", help=argparse.SUPPRESS

@@ -77,6 +77,11 @@ class IncrementalAnalyzer:
         return self.analyze_program(program)
 
     def analyze_program(self, program: ast.Program) -> Pinpoint:
+        from repro.pta.flowsense import resolve_pta_tier
+
+        tier = resolve_pta_tier(
+            self.config.pta_tier if self.config is not None else ""
+        )
         stats = IncrementalStats()
         prepared = PreparedModule()
         module = lower_program(program)
@@ -86,6 +91,7 @@ class IncrementalAnalyzer:
         prepared.order = order
 
         ast_by_name = {f.name: f for f in program.functions}
+        prepared.asts = dict(ast_by_name)
         scc_of: Dict[str, int] = {}
         for index, scc in enumerate(callgraph.sccs()):
             for member in scc:
@@ -101,7 +107,7 @@ class IncrementalAnalyzer:
                 if scc_of.get(callee) != scc_of.get(name)
             }
             own_callees = callgraph.callees.get(name, set())
-            key = prepare_cache_key(func_ast, usable, own_callees)
+            key = prepare_cache_key(func_ast, usable, own_callees, pta_tier=tier)
             cached = self._cache.get(name)
             registry = get_registry()
             if cached is not None and cached.key == key:
@@ -128,7 +134,7 @@ class IncrementalAnalyzer:
                 if result is None:
                     with trace("prepare.fn", unit=name, incremental=True):
                         result = prepare_function(
-                            func_ast, usable, prepared.linear
+                            func_ast, usable, prepared.linear, pta_tier=tier
                         )
                     stats.analyzed += 1
                     registry.counter(

@@ -74,6 +74,13 @@ class PreparedFunction:
     # transfer functions per Wilson & Lam).  Surfaced as diagnostics so
     # users know where the analysis may be unsound.
     alias_hazards: List[tuple] = field(default_factory=list)
+    # Precision tier this function was prepared under ("fi" or "fs"),
+    # and — on the fs tier — the sparse must-alias pass's result
+    # (repro.pta.flowsense.FlowSenseResult) whose proofs justified any
+    # flow-sensitive strong updates.  The verifier audits points_to
+    # against it.
+    pta_tier: str = "fi"
+    flow: Optional[object] = None
 
 
 @dataclass
@@ -94,6 +101,10 @@ class PreparedModule:
     # from the on-disk artifact cache).  The engine consumes these
     # instead of rebuilding; absence just means "build it yourself".
     segs: Dict[str, object] = field(default_factory=dict)
+    # Surface ASTs of every successfully parsed function, kept so the
+    # engine's per-function escalation path (--pta=fs) can re-prepare a
+    # candidate function under the precise tier without re-parsing.
+    asts: Dict[str, ast.FuncDef] = field(default_factory=dict)
 
     def __getitem__(self, name: str) -> PreparedFunction:
         return self.functions[name]
@@ -110,6 +121,7 @@ def prepare_module(
     budget: Optional[ResourceBudget] = None,
     diagnostics: Optional[DiagnosticLog] = None,
     verify: str = "",
+    pta_tier: str = "fi",
 ) -> PreparedModule:
     """Run the preparation pipeline on a whole program.
 
@@ -143,6 +155,7 @@ def prepare_module(
     order = callgraph.bottom_up_order()
 
     ast_by_name = {f.name: f for f in program.functions}
+    prepared.asts = dict(ast_by_name)
     signatures: Dict[str, ConnectorSignature] = {}
     scc_of: Dict[str, int] = {}
     for index, scc in enumerate(callgraph.sccs()):
@@ -167,7 +180,9 @@ def prepare_module(
         zone = Quarantine(log, STAGE_PREPARE, name, line=func_ast.line)
         with zone, trace("prepare.fn", unit=name):
             fault_point("prepare", name)
-            result = prepare_function(func_ast, usable, linear, budget=budget)
+            result = prepare_function(
+                func_ast, usable, linear, budget=budget, pta_tier=pta_tier
+            )
         if zone.tripped:
             progress.tick(quarantined=1)
             continue
@@ -207,10 +222,16 @@ def prepare_function(
     usable_signatures: Dict[str, ConnectorSignature],
     linear: Optional[LinearSolver] = None,
     budget: Optional[ResourceBudget] = None,
+    pta_tier: str = "fi",
 ) -> PreparedFunction:
     """Run all per-function preparation stages for one function, given
     its callees' connector signatures.  This is the unit of work the
-    incremental analyzer caches."""
+    incremental analyzer caches.
+
+    ``pta_tier="fs"`` additionally runs the sparse flow-sensitive
+    must-alias pass (:mod:`repro.pta.flowsense`) on the SSA function and
+    feeds its proofs to the local points-to analysis, enabling strong
+    updates through must-alias singleton pointers."""
     from repro.ir.lower import lower_function
 
     linear = linear or LinearSolver()
@@ -234,8 +255,14 @@ def prepare_function(
         to_ssa(function)
 
         gates = GateInfo(function)
+        flow = None
+        if pta_tier == "fs":
+            from repro.pta.flowsense import FlowSensitivePTA
+
+            with trace("pta.flowsense", unit=func_ast.name):
+                flow = FlowSensitivePTA(function).run()
         analysis = PointsToAnalysis(
-            function, gates=gates, linear=linear, budget=budget
+            function, gates=gates, linear=linear, budget=budget, flow=flow
         )
         points_to = analysis.run()
     return PreparedFunction(
@@ -247,6 +274,8 @@ def prepare_function(
         signature=signature,
         modref=modref,
         alias_hazards=_find_alias_hazards(function, points_to),
+        pta_tier=pta_tier,
+        flow=flow,
     )
 
 
@@ -293,6 +322,7 @@ def prepare_source(
     worker_timeout: float = 0.0,
     journal=None,
     resume: bool = False,
+    pta_tier: str = "fi",
 ) -> PreparedModule:
     """Parse and prepare a program given as source text.
 
@@ -315,7 +345,7 @@ def prepare_source(
             program = parse_program(source)
         return _prepare(
             program, budget, diagnostics, verify, jobs, store, worker_timeout,
-            journal, resume,
+            journal, resume, pta_tier,
         )
     log = diagnostics if diagnostics is not None else DiagnosticLog()
     with trace("parse", unit="<module>") as span:
@@ -331,7 +361,7 @@ def prepare_source(
         )
     return _prepare(
         program, budget, log, verify, jobs, store, worker_timeout, journal,
-        resume,
+        resume, pta_tier,
     )
 
 
@@ -345,6 +375,7 @@ def _prepare(
     worker_timeout: float,
     journal=None,
     resume: bool = False,
+    pta_tier: str = "fi",
 ) -> PreparedModule:
     """Serial pipeline, or the wave scheduler when parallelism, the
     artifact cache, or the run journal is requested."""
@@ -361,5 +392,8 @@ def _prepare(
             worker_timeout=worker_timeout,
             journal=journal,
             resume=resume,
+            pta_tier=pta_tier,
         )
-    return prepare_module(program, budget, diagnostics, verify=verify)
+    return prepare_module(
+        program, budget, diagnostics, verify=verify, pta_tier=pta_tier
+    )

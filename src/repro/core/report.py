@@ -87,6 +87,15 @@ class EngineStats:
     degraded_candidates: int = 0
     smt_deadline_hits: int = 0
     quarantined_units: int = 0
+    # Points-to precision tier of this run ("fi" or "fs") and the fs
+    # tier's store-update/escalation accounting.  ``strong_updates``
+    # counts syntactic + proof-driven strong updates over every prepared
+    # function; ``escalated_functions`` counts functions the engine
+    # re-prepared under the precise tier to re-confirm reports.
+    pta_tier: str = "fi"
+    strong_updates: int = 0
+    weak_updates: int = 0
+    escalated_functions: int = 0
     seconds_prepare: float = 0.0
     seconds_seg: float = 0.0
     seconds_search: float = 0.0
@@ -110,6 +119,8 @@ class EngineStats:
         if registry is None:
             registry = get_registry()
         for name, value in self.as_dict().items():
+            if isinstance(value, str):
+                continue  # e.g. pta_tier: not a number, not a counter
             if name.startswith("seconds_"):
                 registry.counter(
                     "engine.seconds", "Engine time by phase (seconds)"

@@ -11,17 +11,31 @@ contrasts:
   context-insensitive inclusion-based (Andersen) analysis: the substrate
   of the "layered" SVF baseline whose imprecision causes the paper's
   "pointer trap".
+- :mod:`repro.pta.flowsense` — the sparse flow-sensitive must-alias pass
+  of the opt-in ``--pta=fs`` precision tier: it proves strong updates
+  the quasi path-sensitive analysis cannot justify syntactically.
 """
 
-from repro.pta.memory import AllocObject, AuxObject, MemObject
+from repro.pta.memory import AllocObject, AuxObject, MemObject, MustAlias
 from repro.pta.intraproc import PointsToAnalysis, PointsToResult
 from repro.pta.andersen import AndersenAnalysis
+from repro.pta.flowsense import (
+    FlowSenseResult,
+    FlowSensitivePTA,
+    MustAliasProof,
+    resolve_pta_tier,
+)
 
 __all__ = [
     "AllocObject",
     "AndersenAnalysis",
     "AuxObject",
+    "FlowSenseResult",
+    "FlowSensitivePTA",
     "MemObject",
+    "MustAlias",
+    "MustAliasProof",
     "PointsToAnalysis",
     "PointsToResult",
+    "resolve_pta_tier",
 ]

@@ -148,6 +148,13 @@ class AndersenAnalysis:
     # ------------------------------------------------------------------
     # Solving (worklist with dynamic complex-constraint expansion)
     # ------------------------------------------------------------------
+    # Every loop below iterates points-to sets and copy-edge sets in
+    # *sorted* order (MemObject.sort_key / node-name order), never raw
+    # set order.  Set iteration depends on PYTHONHASHSEED; sorted
+    # iteration makes content-node naming, copy-edge discovery order,
+    # and therefore everything downstream (baseline SVFG shape, report
+    # order) byte-identical across processes, runs, and --jobs values.
+
     def solve(self, max_iterations: int = 100) -> None:
         changed = True
         while changed and self.iterations < max_iterations:
@@ -155,14 +162,14 @@ class AndersenAnalysis:
             changed = False
             # Expand load/store constraints into copy edges.
             for dest, pointer in self._load_constraints:
-                for obj in self.pts.get(pointer, ()):  # noqa: B909
+                for obj in self._sorted_pts(pointer):
                     self._seed_aux(obj)
                     content = self.content_node(obj)
                     if dest not in self._copy_edges.get(content, set()):
                         self._add_copy(content, dest)
                         changed = True
             for pointer, value in self._store_constraints:
-                for obj in self.pts.get(pointer, ()):  # noqa: B909
+                for obj in self._sorted_pts(pointer):
                     content = self.content_node(obj)
                     if content not in self._copy_edges.get(value, set()):
                         self._add_copy(value, content)
@@ -171,15 +178,18 @@ class AndersenAnalysis:
             if self._propagate():
                 changed = True
 
+    def _sorted_pts(self, node: str) -> List[MemObject]:
+        return sorted(self.pts.get(node, ()), key=lambda obj: obj.sort_key())
+
     def _propagate(self) -> bool:
         changed_any = False
-        worklist = [node for node in self.pts if self.pts[node]]
+        worklist = sorted(node for node in self.pts if self.pts[node])
         seen = set(worklist)
         while worklist:
             node = worklist.pop()
             seen.discard(node)
             objs = self.pts.get(node, set())
-            for succ in self._copy_edges.get(node, ()):  # noqa: B909
+            for succ in sorted(self._copy_edges.get(node, ())):
                 target = self.pts.setdefault(succ, set())
                 before = len(target)
                 target.update(objs)
@@ -200,6 +210,11 @@ class AndersenAnalysis:
     # ------------------------------------------------------------------
     def points_to(self, func: str, var: str) -> Set[MemObject]:
         return self.pts.get(self.node(func, var), set())
+
+    def sorted_points_to(self, func: str, var: str) -> List[MemObject]:
+        """Points-to set in the stable :meth:`MemObject.sort_key` order —
+        what clients building output from these sets should iterate."""
+        return self._sorted_pts(self.node(func, var))
 
     def total_pts_size(self) -> int:
         return sum(len(objs) for objs in self.pts.values())

@@ -69,6 +69,15 @@ class PointsToResult:
     # True when the resource budget ran out mid-analysis and conditions
     # were degraded to TRUE (sound, path-insensitive).
     degraded: bool = False
+    # Precision tier this result was computed under ("fi" or "fs").
+    tier: str = "fi"
+    # Store-update accounting.  ``strong_uids`` lists only the stores
+    # strong-updated *because of* a flow-sensitive must-alias proof —
+    # i.e. the fi/fs behavioural delta; syntactic strong updates (single
+    # target under TRUE) happen on both tiers and are only counted.
+    strong_updates: int = 0
+    weak_updates: int = 0
+    strong_uids: Tuple[int, ...] = ()
 
     def pts(self, var: str) -> Tuple[Tuple[MemObject, Term], ...]:
         return self.points_to.get(var, ())
@@ -83,6 +92,7 @@ class PointsToAnalysis:
         gates: Optional[GateInfo] = None,
         linear: Optional[LinearSolver] = None,
         budget=None,
+        flow=None,
     ) -> None:
         if not function.is_ssa:
             raise ValueError("PointsToAnalysis requires SSA form")
@@ -93,8 +103,15 @@ class PointsToAnalysis:
         # conditions degrade to TRUE: the heap states stay sound but
         # path-insensitive, and downstream clients see `degraded`.
         self.budget = budget
+        # Must-alias proofs from the sparse flow-sensitive pass
+        # (repro.pta.flowsense.FlowSenseResult).  When present, stores
+        # with a proof are strong-updated even if their target condition
+        # is not syntactically TRUE — the fs precision tier.
+        self.flow = flow
         self.degraded = False
-        self.result = PointsToResult(function.name)
+        self.result = PointsToResult(
+            function.name, tier="fs" if flow is not None else "fi"
+        )
         self._defs: Dict[str, cfg.Instr] = {}
         for instr in function.all_instrs():
             dest = instr.defined_var()
@@ -227,9 +244,19 @@ class PointsToAnalysis:
         with trace("pta.run", unit=self.function.name) as span:
             result = self._run()
             facts = sum(len(entries) for entries in result.points_to.values())
-            get_registry().counter(
+            registry = get_registry()
+            registry.counter(
                 "pta.facts", "Points-to facts (variable, object, condition)"
             ).inc(facts)
+            if result.strong_updates:
+                registry.counter(
+                    "pta.strong_updates",
+                    "Stores strong-updated (syntactic or proof-driven)",
+                ).inc(result.strong_updates, tier=result.tier)
+            if result.weak_updates:
+                registry.counter(
+                    "pta.weak_updates", "Stores weak-updated"
+                ).inc(result.weak_updates, tier=result.tier)
             span.set(facts=facts, degraded=self.degraded)
             return result
 
@@ -387,8 +414,25 @@ class PointsToAnalysis:
         if len(targets) == 1 and targets[0][1] is T.TRUE:
             # Strong update: the single unconditional target's old
             # contents are definitely overwritten.
+            self.result.strong_updates += 1
             heap[targets[0][0]] = ((instr.value, T.TRUE),)
             return
+        proof = self.flow.proofs.get(instr.uid) if self.flow is not None else None
+        if (
+            proof is not None
+            and targets
+            and all(obj == proof.obj for obj, _ in targets)
+        ):
+            # Flow-sensitive strong update: the sparse pass proved the
+            # pointer must-aliases this single singular cell, so the
+            # conditional/duplicated target entries all denote one
+            # overwritten location.
+            self.result.strong_updates += 1
+            self.result.strong_uids = self.result.strong_uids + (instr.uid,)
+            heap[proof.obj] = ((instr.value, T.TRUE),)
+            return
+        if targets:
+            self.result.weak_updates += 1
         for obj, cond in targets:
             heap[obj] = heap.get(obj, ()) + ((instr.value, cond),)
 

@@ -11,15 +11,34 @@ The analyses use an allocation-site abstraction:
 
 Arrays and unions collapse into their object (paper Section 4.2), so each
 object has a single content cell per dereference level.
+
+This module also hosts the *must-alias lattice* used by the
+flow-sensitive precision tier (:mod:`repro.pta.flowsense`):
+``MustAlias.bottom()`` (no pointee seen yet) / ``singleton(o)`` (the
+pointer definitely designates exactly ``o``) / ``top()`` (unknown — any
+object).  A store may be strong-updated only when the pointer's lattice
+value is a singleton over a *singular* object (one concrete cell).
 """
 
 from __future__ import annotations
+
+from typing import Optional, Tuple
 
 
 class MemObject:
     """Base class for abstract memory objects."""
 
     __slots__ = ()
+
+    def sort_key(self) -> Tuple:
+        """Total, process-independent order over memory objects.
+
+        Python's default set iteration order depends on string hash
+        randomization (``PYTHONHASHSEED``); every solver loop that
+        iterates points-to sets sorts by this key so fixpoint iteration
+        — and everything downstream of it — is byte-identical across
+        processes and runs."""
+        raise NotImplementedError
 
 
 class AllocObject(MemObject):
@@ -34,6 +53,9 @@ class AllocObject(MemObject):
 
     def __hash__(self) -> int:
         return hash(("alloc", self.site))
+
+    def sort_key(self) -> Tuple:
+        return ("alloc", self.site, "", 0)
 
     def __repr__(self) -> str:
         return f"heap@{self.site}"
@@ -64,8 +86,80 @@ class AuxObject(MemObject):
     def __hash__(self) -> int:
         return hash(("aux", self.func, self.param, self.depth))
 
+    def sort_key(self) -> Tuple:
+        return ("aux", 0, f"{self.func}\x00{self.param}", self.depth)
+
     def __repr__(self) -> str:
         return f"{self.func}:{'*' * self.depth}{self.param}"
+
+
+class MustAlias:
+    """Value of the must-alias lattice: ⊥ ⊑ singleton(o) ⊑ ⊤.
+
+    - ``bottom`` — no pointee observed yet (the identity of ``join``);
+    - ``singleton(o)`` — the pointer designates exactly the abstract
+      object ``o`` on every path (and nothing else);
+    - ``top`` — unknown: more than one object, a loop-carried cycle, a
+      value read from memory the sparse pass does not track, or a
+      points-to depth past the modeled maximum.
+
+    Joining two different singletons yields ⊤ (the pointer *may* alias
+    either, so neither is a must-alias).  Instances are immutable.
+    """
+
+    __slots__ = ("obj", "is_top")
+
+    def __init__(self, obj: Optional[MemObject] = None, is_top: bool = False) -> None:
+        self.obj = obj
+        self.is_top = is_top
+
+    @classmethod
+    def bottom(cls) -> "MustAlias":
+        return cls()
+
+    @classmethod
+    def singleton(cls, obj: MemObject) -> "MustAlias":
+        return cls(obj=obj)
+
+    @classmethod
+    def top(cls) -> "MustAlias":
+        return cls(is_top=True)
+
+    @property
+    def is_bottom(self) -> bool:
+        return self.obj is None and not self.is_top
+
+    @property
+    def is_singleton(self) -> bool:
+        return self.obj is not None and not self.is_top
+
+    def join(self, other: "MustAlias") -> "MustAlias":
+        if self.is_top or other.is_top:
+            return MustAlias.top()
+        if self.is_bottom:
+            return other
+        if other.is_bottom:
+            return self
+        if self.obj == other.obj:
+            return self
+        return MustAlias.top()
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, MustAlias)
+            and other.is_top == self.is_top
+            and other.obj == self.obj
+        )
+
+    def __hash__(self) -> int:
+        return hash(("must", self.obj, self.is_top))
+
+    def __repr__(self) -> str:
+        if self.is_top:
+            return "must:⊤"
+        if self.obj is None:
+            return "must:⊥"
+        return f"must:{self.obj!r}"
 
 
 def aux_param_name(param: str, depth: int) -> str:

@@ -105,6 +105,7 @@ def prepare_program(
     worker_timeout: float = 0.0,
     journal: Optional[RunJournal] = None,
     resume: bool = False,
+    pta_tier: str = "fi",
 ) -> PreparedModule:
     """Prepare a parsed program across ``jobs`` processes with optional
     artifact caching; drop-in replacement for ``prepare_module``.
@@ -149,6 +150,7 @@ def prepare_program(
     prepared.callgraph = callgraph
     serial_order = callgraph.bottom_up_order()
     ast_by_name = {f.name: f for f in program.functions}
+    prepared.asts = dict(ast_by_name)
     scc_of: Dict[str, int] = {}
     for index, scc in enumerate(callgraph.sccs()):
         for member in scc:
@@ -222,7 +224,10 @@ def prepare_program(
                     if store is not None or journal is not None:
                         digest = key_digest(
                             prepare_cache_key(
-                                func_ast, usable, callgraph.callees.get(name, ())
+                                func_ast,
+                                usable,
+                                callgraph.callees.get(name, ()),
+                                pta_tier=pta_tier,
                             )
                         )
                         digest_of[name] = digest
@@ -264,7 +269,7 @@ def prepare_program(
                         (
                             name,
                             pickle.dumps(
-                                (name, func_ast, usable, wave_index),
+                                (name, func_ast, usable, wave_index, pta_tier),
                                 protocol=pickle.HIGHEST_PROTOCOL,
                             ),
                         )
@@ -276,7 +281,8 @@ def prepare_program(
                 else:
                     for name, func_ast, usable in pending:
                         outcomes[name] = _run_inline(
-                            name, func_ast, usable, prepared.linear, budget
+                            name, func_ast, usable, prepared.linear, budget,
+                            pta_tier,
                         )
 
                 # Wave-boundary admission gate: a function must pass the
@@ -423,6 +429,7 @@ def _run_inline(
     usable: Dict[str, Any],
     linear,
     budget: Optional[ResourceBudget],
+    pta_tier: str = "fi",
 ) -> _Outcome:
     """In-process task execution (``jobs=1`` with a cache dir): serial
     pipeline semantics, plus an eager SEG build so the artifact can be
@@ -432,7 +439,9 @@ def _run_inline(
     try:
         with trace("prepare.fn", unit=name):
             fault_point("prepare", name)
-            result = prepare_function(func_ast, usable, linear, budget=budget)
+            result = prepare_function(
+                func_ast, usable, linear, budget=budget, pta_tier=pta_tier
+            )
     except FATAL:
         raise
     except Exception as error:

@@ -2,7 +2,8 @@
 
 Each task prepares exactly one function (stage 1-3: connector
 transformation, intraprocedural points-to, SEG build) from a pickled
-``(name, FuncDef AST, usable callee signatures, wave index)`` payload
+``(name, FuncDef AST, usable callee signatures, wave index, pta tier)``
+payload
 and ships back a pickled outcome tuple:
 
 - ``("ok", name, PreparedFunction, SEG | None, seg_error, registry,
@@ -65,7 +66,7 @@ def prepare_task(payload: bytes) -> bytes:
     from repro.core.pipeline import prepare_function
     from repro.seg.builder import build_seg
 
-    name, func_ast, usable, wave_index = pickle.loads(payload)
+    name, func_ast, usable, wave_index, pta_tier = pickle.loads(payload)
 
     # Simulated hard crash: die like a segfaulting worker would, without
     # unwinding — the parent must survive via the broken-pool protocol.
@@ -84,7 +85,9 @@ def prepare_task(payload: bytes) -> bytes:
         with trace("sched.worker", unit=name, pid=os.getpid()):
             fault_point("prepare", name)
             with trace("prepare.fn", unit=name):
-                prepared = prepare_function(func_ast, usable, LinearSolver())
+                prepared = prepare_function(
+                    func_ast, usable, LinearSolver(), pta_tier=pta_tier
+                )
             seg = None
             seg_error = ""
             try:

@@ -12,21 +12,26 @@ features driving the paper's results:
 - :mod:`repro.synth.projects` — the catalog of the paper's 30 subjects
   (name, KLoC) and a scaled-down synthesizer per subject;
 - :mod:`repro.synth.juliet` — a Juliet-like suite: 51 structural flaw
-  variants of use-after-free/double-free with ground truth.
+  variants of use-after-free/double-free with ground truth;
+- :mod:`repro.synth.precision` — a hand-audited corpus measuring the
+  false-positive delta between the ``fi`` and ``fs`` points-to tiers.
 """
 
 from repro.synth.generator import GeneratorConfig, GroundTruth, SyntheticProgram, generate_program
 from repro.synth.projects import PAPER_SUBJECTS, Subject, synthesize_subject
 from repro.synth.juliet import JulietCase, generate_juliet_suite
+from repro.synth.precision import PrecisionCase, generate_precision_suite
 
 __all__ = [
     "GeneratorConfig",
     "GroundTruth",
     "JulietCase",
     "PAPER_SUBJECTS",
+    "PrecisionCase",
     "Subject",
     "SyntheticProgram",
     "generate_juliet_suite",
+    "generate_precision_suite",
     "generate_program",
     "synthesize_subject",
 ]

@@ -1,0 +1,268 @@
+"""A curated precision corpus with per-case ground truth (paper §5.2).
+
+The paper's central precision claim is that sparse flow-sensitive
+points-to with strong updates removes false positives that the cheap
+flow-insensitive tier reports, without losing any true positive.  This
+module provides a small, hand-audited suite for measuring exactly that
+delta between ``--pta=fi`` and ``--pta=fs``:
+
+- ``fs_removes=True`` cases are false positives under ``fi``: a kill
+  store through a maybe-null (or copied, or nested-branch) pointer
+  overwrites the stale freed value before the use, but the
+  flow-insensitive tier cannot apply the strong update and reports a
+  use-after-free anyway.  The flow-sensitive tier proves the store's
+  pointer must-aliases a singleton object and kills the stale value.
+- ``is_bug=True`` cases are genuine defects that must be reported under
+  *both* tiers (zero true-positive loss is a hard gate).
+- ``fp_loop_alloc_kept`` is a false positive that ``fs`` deliberately
+  keeps: the would-be-killed cell is allocated on a CFG cycle, so the
+  singleton must-alias proof is refused (one abstract object stands for
+  many concrete ones) and the weak update soundly preserves the stale
+  value.
+
+Every case is a single self-contained function whose name equals the
+case name, so reports attribute cleanly via source/sink function names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Set
+
+
+@dataclass(frozen=True)
+class PrecisionCase:
+    name: str
+    source: str
+    is_bug: bool  # ground truth: a concrete execution trips the defect
+    fs_removes: bool  # the fs tier is expected to suppress the fi report
+    description: str
+
+
+def _case(name: str, body: List[str], *, is_bug: bool, fs_removes: bool,
+          description: str) -> PrecisionCase:
+    lines = [f"fn {name}(c) {{"] + [f"    {line}" for line in body] + ["}"]
+    return PrecisionCase(
+        name=name,
+        source="\n".join(lines) + "\n",
+        is_bug=is_bug,
+        fs_removes=fs_removes,
+        description=description,
+    )
+
+
+# The canonical kill shape: ``*s`` holds a freed object, a maybe-null
+# pointer that must-aliases ``s`` overwrites it, then ``*s`` is read.
+# fi cannot strong-update through the phi(s, null) pointer and reports
+# the stale freed value; fs proves the singleton must-alias and kills it.
+_KILL_PREFIX = [
+    "s = malloc();",
+    "t = malloc();",
+    "*s = t;",
+    "free(t);",
+]
+_KILL_SUFFIX = [
+    "u = malloc();",
+    "*p = u;",
+    "q = *s;",
+    "r = *q;",
+    "return r;",
+]
+
+
+def generate_precision_suite() -> List[PrecisionCase]:
+    """The curated corpus, in a fixed deterministic order."""
+    cases: List[PrecisionCase] = []
+
+    # ---- false positives that fs removes -----------------------------
+    cases.append(_case(
+        "fp_null_branch",
+        _KILL_PREFIX
+        + ["if (c > 0) { p = s; } else { p = 0; }"]
+        + _KILL_SUFFIX,
+        is_bug=False,
+        fs_removes=True,
+        description="kill store through phi(s, null); null is not a "
+                    "memory object so the must-alias set stays singleton",
+    ))
+    cases.append(_case(
+        "fp_copy_kill",
+        _KILL_PREFIX
+        + [
+            "w = s;",
+            "if (c > 0) { p = w; } else { p = 0; }",
+        ]
+        + _KILL_SUFFIX,
+        is_bug=False,
+        fs_removes=True,
+        description="same kill, pointer routed through a copy before "
+                    "the maybe-null branch",
+    ))
+    cases.append(_case(
+        "fp_nested_guard",
+        _KILL_PREFIX
+        + [
+            "if (c > 0) {",
+            "    if (c < 10) { p = s; } else { p = 0; }",
+            "} else {",
+            "    p = 0;",
+            "}",
+        ]
+        + _KILL_SUFFIX,
+        is_bug=False,
+        fs_removes=True,
+        description="kill pointer flows through two nested phis, each "
+                    "mixing in null constants only",
+    ))
+    cases.append(_case(
+        "fp_kill_then_branch",
+        _KILL_PREFIX
+        + [
+            "if (c > 0) { p = s; } else { p = 0; }",
+            "u = malloc();",
+            "*p = u;",
+            "if (c > 5) { q = *s; } else { q = u; }",
+            "r = *q;",
+            "return r;",
+        ],
+        is_bug=False,
+        fs_removes=True,
+        description="the strong update happens before a branch; both "
+                    "arms of the later phi read the fresh value",
+    ))
+
+    # ---- false positive that fs must keep ----------------------------
+    cases.append(_case(
+        "fp_loop_alloc_kept",
+        [
+            "t = malloc();",
+            "s = 0;",
+            "i = 0;",
+            "while (i < c) {",
+            "    s = malloc();",
+            "    i = i + 1;",
+            "}",
+            "*s = t;",
+            "free(t);",
+            "if (c > 0) { p = s; } else { p = 0; }",
+        ]
+        + _KILL_SUFFIX,
+        is_bug=False,
+        fs_removes=False,
+        description="the killed cell's allocation site sits on a CFG "
+                    "cycle: one abstract object stands for many concrete "
+                    "cells, so the singleton proof is refused and the "
+                    "weak update keeps the stale value (sound, imprecise)",
+    ))
+
+    # ---- genuine bugs: must survive both tiers -----------------------
+    cases.append(_case(
+        "bug_direct_uaf",
+        [
+            "p = malloc();",
+            "*p = c;",
+            "free(p);",
+            "x = *p;",
+            "return x;",
+        ],
+        is_bug=True,
+        fs_removes=False,
+        description="textbook use-after-free, no kill anywhere",
+    ))
+    cases.append(_case(
+        "bug_use_before_kill",
+        _KILL_PREFIX
+        + [
+            "q = *s;",
+            "r = *q;",
+            "if (c > 0) { p = s; } else { p = 0; }",
+            "u = malloc();",
+            "*p = u;",
+            "return r;",
+        ],
+        is_bug=True,
+        fs_removes=False,
+        description="the stale read precedes the strong update; the kill "
+                    "must not retroactively hide it",
+    ))
+    cases.append(_case(
+        "bug_phi_two_objects",
+        [
+            "s1 = malloc();",
+            "s2 = malloc();",
+            "t = malloc();",
+            "*s1 = t;",
+            "*s2 = t;",
+            "free(t);",
+            "if (c > 0) { p = s1; } else { p = s2; }",
+            "u = malloc();",
+            "*p = u;",
+            "q = *s1;",
+            "r = *q;",
+            "return r;",
+        ],
+        is_bug=True,
+        fs_removes=False,
+        description="the kill pointer may alias two distinct objects "
+                    "(must-alias joins to top); on the else path *s1 "
+                    "still holds the freed value at the read",
+    ))
+    cases.append(_case(
+        "bug_guarded_uaf",
+        [
+            "p = malloc();",
+            "*p = c;",
+            "free(p);",
+            "if (c > 1) {",
+            "    x = *p;",
+            "    return x;",
+            "}",
+            "return 0;",
+        ],
+        is_bug=True,
+        fs_removes=False,
+        description="use-after-free behind a satisfiable guard",
+    ))
+
+    return cases
+
+
+def suite_source(cases: Iterable[PrecisionCase]) -> str:
+    """All cases concatenated into one program."""
+    return "\n".join(case.source for case in cases)
+
+
+def flagged_cases(cases: Iterable[PrecisionCase], reports) -> Set[str]:
+    """Case names touched by any report (source, sink, or path)."""
+    names = {case.name for case in cases}
+    hit: Set[str] = set()
+    for report in reports:
+        touched = [report.source.function, report.sink.function] + [
+            loc.function for loc in report.path
+        ]
+        hit.update(name for name in touched if name in names)
+    return hit
+
+
+def score_tier(cases: List[PrecisionCase], reports) -> Dict[str, object]:
+    """Per-tier scoring against ground truth: which cases were flagged,
+    how many were true positives, and how many false positives."""
+    hit = flagged_cases(cases, reports)
+    true_pos = sorted(c.name for c in cases if c.is_bug and c.name in hit)
+    false_pos = sorted(c.name for c in cases if not c.is_bug and c.name in hit)
+    missed = sorted(c.name for c in cases if c.is_bug and c.name not in hit)
+    return {
+        "flagged": sorted(hit),
+        "true_positives": true_pos,
+        "false_positives": false_pos,
+        "missed_bugs": missed,
+    }
+
+
+__all__ = [
+    "PrecisionCase",
+    "flagged_cases",
+    "generate_precision_suite",
+    "score_tier",
+    "suite_source",
+]

@@ -41,6 +41,7 @@ from repro.verify.rules import (
     SEVERITY_WARNING,
     severity_of,
 )
+from repro.verify.pta_verifier import verify_flow_tier
 from repro.verify.seg_verifier import verify_call_interfaces, verify_seg
 from repro.verify.summary_lints import lint_summaries
 from repro.verify.violation import Violation
@@ -140,6 +141,7 @@ __all__ = [
     "severity_of",
     "timed_verify",
     "verify_call_interfaces",
+    "verify_flow_tier",
     "verify_function_ir",
     "verify_seg",
 ]

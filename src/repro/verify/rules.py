@@ -132,6 +132,24 @@ _RULES = [
         "Transformed call sites carry one extra receiver per callee Aux "
         "return (same-SCC calls stay untransformed).",
     ),
+    # -------------------------------------------------- PTA tier verifier
+    Rule(
+        "pta-strong-update-proof",
+        "pta",
+        SEVERITY_ERROR,
+        "Every flow-sensitive strong update names a must-alias proof "
+        "whose object is the store's only resolved target and is "
+        "singular (an allocation site outside every CFG cycle, or an "
+        "aux object).",
+    ),
+    Rule(
+        "pta-tier-subset",
+        "pta",
+        SEVERITY_ERROR,
+        "The fs tier only removes facts: per variable and load, the "
+        "fs-prepared points-to and load-value sets are subsets of the "
+        "fi-prepared ones (strong updates kill entries, never add).",
+    ),
     # -------------------------------------------------- summary lints
     Rule(
         "summary-interface",
