@@ -1,0 +1,119 @@
+"""Extension bench — analysis-as-a-service latency.
+
+Not a paper table: this measures the reason the ``repro daemon``
+exists.  A resident analysis process holds warm per-session artifact
+caches (prepare cache + check memo), so the latency story splits into
+three request kinds:
+
+- **cold** — first check of a program: full parse/prepare/SEG/search;
+- **warm** — re-check of the identical program: everything replayed;
+- **edit** — single-function delta: only the invalidation cone is
+  re-prepared and re-searched.
+
+The bench self-hosts a :class:`ServiceServer`, drives it with the
+mixed-workload load generator over real HTTP, and reports
+client-visible p50/p95/p99 per kind.  The acceptance bar asserted at
+the bottom — warm single-function edit p50 at least **10x** faster
+than a cold check of the same subject — is the daemon's contract with
+interactive callers (an editor save should cost milliseconds, not the
+full pipeline).
+
+The per-kind quantiles land in ``benchmarks/results/`` as both a table
+and a ``service_latency.json`` trajectory; with ``REPRO_HISTORY_DIR``
+set, the run record additionally carries the merged
+``service.request_seconds`` histogram, which ``repro history trend``
+gates (exit 5) against the rolling baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.bench.tables import render_table
+from repro.obs.metrics import MetricsRegistry, set_registry
+from repro.service import LoadConfig, ServiceConfig, ServiceServer, run_load
+from repro.service.loadgen import percentile
+
+#: The warm-edit-vs-cold contract the daemon must honor.
+EDIT_SPEEDUP_FLOOR = float(os.environ.get("REPRO_SERVICE_SPEEDUP_FLOOR", "10"))
+
+CLIENTS = int(os.environ.get("REPRO_SERVICE_CLIENTS", "2"))
+EDITS_PER_CLIENT = int(os.environ.get("REPRO_SERVICE_EDITS", "6"))
+TARGET_LINES = int(os.environ.get("REPRO_SERVICE_LINES", "600"))
+
+
+def _row(kind: str, values) -> tuple:
+    return (
+        kind,
+        len(values),
+        f"{percentile(values, 0.50) * 1000:.1f}",
+        f"{percentile(values, 0.95) * 1000:.1f}",
+        f"{percentile(values, 0.99) * 1000:.1f}",
+        f"{values[-1] * 1000:.1f}" if values else "-",
+    )
+
+
+def test_service_latency(record_result, results_dir):
+    # Fresh registry so the service histogram this run records into the
+    # history store reflects only this bench's traffic.
+    set_registry(MetricsRegistry())
+    config = ServiceConfig(workers=2)
+    with ServiceServer(config) as server:
+        report = run_load(
+            server.port,
+            LoadConfig(
+                clients=CLIENTS,
+                edits_per_client=EDITS_PER_CLIENT,
+                target_lines=TARGET_LINES,
+            ),
+        )
+
+    assert not report.errors, report.errors
+    cold = report.latencies("cold")
+    warm = report.latencies("warm")
+    edit = report.latencies("edit")
+    assert cold and warm and edit
+
+    cold_p50 = percentile(cold, 0.50)
+    edit_p50 = percentile(edit, 0.50)
+    speedup = cold_p50 / max(edit_p50, 1e-9)
+
+    rows = [_row(k, v) for k, v in (("cold", cold), ("warm", warm), ("edit", edit))]
+    table = render_table(
+        ["kind", "n", "p50 (ms)", "p95 (ms)", "p99 (ms)", "max (ms)"], rows
+    )
+    table += (
+        f"\n\nsubject: ~{TARGET_LINES} lines x {CLIENTS} clients, "
+        f"{EDITS_PER_CLIENT} edits each; wall {report.wall_seconds:.2f}s, "
+        f"{report.rejected} rejected (429)"
+        f"\nwarm-edit speedup over cold: {speedup:.1f}x "
+        f"(floor: {EDIT_SPEEDUP_FLOOR:.0f}x)"
+    )
+    record_result(table, "service_latency")
+
+    trajectory = {
+        "benchmark": "service_latency",
+        "summary": report.summary(),
+        "speedup_edit_vs_cold": round(speedup, 2),
+        "samples": report.samples,
+    }
+    (results_dir / "service_latency.json").write_text(
+        json.dumps(trajectory, indent=2, sort_keys=True) + "\n"
+    )
+
+    # Identity across kinds: the same session must report the same
+    # fingerprint for cold and warm, and the same findings count.
+    by_kind = {}
+    for sample in report.samples:
+        by_kind.setdefault(sample["kind"], []).append(sample)
+    assert {s["fingerprint"] for s in by_kind["cold"]} == {
+        s["fingerprint"] for s in by_kind["warm"]
+    }
+
+    # The acceptance bar: millisecond-class warm edits.
+    assert speedup >= EDIT_SPEEDUP_FLOOR, (
+        f"warm edit p50 {edit_p50 * 1000:.1f}ms is only {speedup:.1f}x "
+        f"faster than cold p50 {cold_p50 * 1000:.1f}ms "
+        f"(need >= {EDIT_SPEEDUP_FLOOR:.0f}x)"
+    )

@@ -99,25 +99,9 @@ def _read(path: str) -> str:
 
 
 def _report_dict(report) -> Dict:
-    return {
-        "checker": report.checker,
-        "source": {
-            "function": report.source.function,
-            "line": report.source.line,
-            "variable": report.source.variable,
-        },
-        "sink": {
-            "function": report.sink.function,
-            "line": report.sink.line,
-            "variable": report.sink.variable,
-        },
-        "path": [
-            {"function": loc.function, "line": loc.line, "variable": loc.variable}
-            for loc in report.path
-        ],
-        "condition": report.condition,
-        "verdict": report.verdict,
-    }
+    from repro.core.report import report_as_dict
+
+    return report_as_dict(report)
 
 
 def _build_budget(args: argparse.Namespace) -> ResourceBudget:
@@ -173,7 +157,17 @@ def _start_monitor(args: argparse.Namespace):
     progress.enabled = True
     monitor = MonitorServer(port=port)
     bound = monitor.start()
-    print(f"[monitor] serving on http://127.0.0.1:{bound}", file=sys.stderr)
+    # `repro serve` announces the bound port on *stdout* so scripts
+    # started with --port 0 can read it (unless stdout carries the
+    # machine report); `check --monitor-port` keeps stdout pristine.
+    announce_stdout = getattr(args, "_announce_port_stdout", False) and not (
+        getattr(args, "json", False) or getattr(args, "sarif", False)
+    )
+    print(
+        f"[monitor] serving on http://127.0.0.1:{bound}",
+        file=sys.stdout if announce_stdout else sys.stderr,
+        flush=True,
+    )
     return monitor
 
 
@@ -796,7 +790,234 @@ def cmd_serve(args: argparse.Namespace) -> int:
     /status /events while the analysis runs (and afterwards, with
     --linger)."""
     args.monitor_port = args.port
+    args._announce_port_stdout = True
     return cmd_check(args)
+
+
+def cmd_daemon(args: argparse.Namespace) -> int:
+    """Run the persistent analysis service until SIGTERM/SIGINT (see
+    docs/service.md).  Prints the bound port on stdout — with --port 0
+    scripts read the ephemeral port from that line."""
+    import signal
+    import threading
+    import time as time_mod
+
+    from repro.cache import resolve_cache_dir as _resolve_cache
+    from repro.service import ServiceConfig, ServiceServer
+
+    _setup_obs(args)
+    get_progress().enabled = True
+    get_progress().begin_run("daemon", label=f"workers={args.workers}")
+    config = ServiceConfig(
+        workers=args.workers,
+        queue_max=args.queue_max,
+        max_sessions=args.max_sessions,
+        depth=args.depth,
+        no_smt=args.no_smt,
+        verify=args.verify,
+        pta=getattr(args, "pta", "") or "",
+        deadline=args.deadline,
+        smt_deadline=args.smt_deadline,
+        max_steps=args.max_steps,
+        cache_dir=_resolve_cache(args.cache_dir),
+        history_dir=resolve_history_dir(getattr(args, "history_dir", "")),
+    )
+    server = ServiceServer(config)
+    port = server.start(args.port)
+    print(f"[daemon] listening on http://127.0.0.1:{port}", flush=True)
+
+    stop_requested = threading.Event()
+    try:
+        signal.signal(signal.SIGTERM, lambda *_: stop_requested.set())
+        signal.signal(signal.SIGINT, lambda *_: stop_requested.set())
+    except ValueError:
+        pass  # not the main thread (in-process tests drive stop() directly)
+    started = time_mod.monotonic()
+    try:
+        while not stop_requested.is_set() and server.running:
+            stop_requested.wait(timeout=0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    uptime = time_mod.monotonic() - started
+    counts = server.jobs.counts()
+    _export_obs(args)
+    get_progress().finish(EXIT_CLEAN)
+    _record_history(
+        args,
+        command="daemon",
+        label=f"port:{port}",
+        fingerprint=fingerprint_text(
+            f"daemon:workers={args.workers}:queue={args.queue_max}"
+        ),
+        config={
+            "workers": args.workers,
+            "queue_max": args.queue_max,
+            "max_sessions": args.max_sessions,
+            "depth": args.depth,
+            "smt": not args.no_smt,
+            "pta": getattr(args, "pta", "") or "",
+            "cache": bool(config.cache_dir),
+        },
+        wall_seconds=uptime,
+        peak_mb=0.0,
+        exit_code=EXIT_CLEAN,
+    )
+    print(
+        f"[daemon] stopped after {uptime:.1f}s "
+        f"({sum(counts.values())} job(s): "
+        + (
+            " ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+            or "none"
+        )
+        + ")",
+        flush=True,
+    )
+    return EXIT_CLEAN
+
+
+def cmd_client(args: argparse.Namespace) -> int:
+    """Talk to a running daemon; prints the JSON response.  For check
+    and edit, the exit code mirrors the one-shot `repro check` codes
+    (0 clean, 1 findings, 3 degraded, 4 verify) from the result."""
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.port, host=args.host, timeout=args.timeout)
+    action = args.client_command
+    checkers: object = "all"
+    if getattr(args, "checker", "") and not getattr(args, "all", False):
+        checkers = [args.checker]
+    try:
+        if action == "health":
+            document = client.health()
+        elif action == "sessions":
+            document = {"sessions": client.sessions()}
+        elif action == "check":
+            document = client.check(
+                _read(args.file),
+                checkers=checkers,
+                session=args.session,
+                wait=not args.no_wait,
+            )
+        elif action == "edit":
+            document = client.edit(
+                args.session,
+                _read(args.file),
+                checkers=checkers,
+                function=args.function,
+            )
+        elif action == "job":
+            document = client.job(args.id)
+        else:  # result
+            document = client.result(args.id)
+    except ServiceError as error:
+        print(json.dumps(error.payload, indent=2, sort_keys=True), file=sys.stderr)
+        if error.overloaded:
+            print(
+                f"error: daemon overloaded; retry after "
+                f"{error.retry_after}s",
+                file=sys.stderr,
+            )
+        else:
+            print(f"error: {error}", file=sys.stderr)
+        return EXIT_ERROR
+    except OSError as error:
+        print(
+            f"error: cannot reach daemon at {args.host}:{args.port}: {error}",
+            file=sys.stderr,
+        )
+        return EXIT_ERROR
+    json.dump(document, sys.stdout, indent=2, sort_keys=True)
+    print()
+    if action in ("check", "edit"):
+        status = document.get("status", "")
+        if status == "done":
+            return int(document.get("exit_code", EXIT_CLEAN))
+        if status in ("failed", "aborted"):
+            return EXIT_ERROR
+    return EXIT_CLEAN
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """Drive a running daemon with concurrent mixed cold/warm/edit
+    traffic and report per-kind latency quantiles (docs/service.md)."""
+    from repro.service.loadgen import LoadConfig, run_load
+
+    _setup_obs(args)
+    registry = get_registry()
+    histogram = registry.histogram(
+        "service.request_seconds",
+        "Client-visible daemon request latency (loadgen measurement)",
+    )
+
+    def on_sample(sample) -> None:
+        histogram.observe(sample["seconds"], kind=sample["kind"])
+
+    config = LoadConfig(
+        clients=args.clients,
+        edits_per_client=args.edits,
+        target_lines=args.lines,
+        seed=args.seed,
+    )
+    try:
+        report = run_load(
+            args.port, config, host=args.host, on_sample=on_sample
+        )
+    except OSError as error:
+        print(
+            f"error: cannot reach daemon at {args.host}:{args.port}: {error}",
+            file=sys.stderr,
+        )
+        return EXIT_ERROR
+    summary = report.summary()
+    document = {"summary": summary, "samples": report.samples}
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.json:
+        json.dump(document if args.samples else {"summary": summary},
+                  sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        print(
+            f"loadgen: {summary['requests']} request(s) from "
+            f"{args.clients} client(s) in {summary['wall_seconds']}s "
+            f"({summary['rejected']} rejected, {summary['errors']} error(s))"
+        )
+        for kind, stats in summary["kinds"].items():
+            print(
+                f"  {kind:<5} n={stats['count']:<4} "
+                f"p50={stats['p50'] * 1000:8.2f}ms "
+                f"p95={stats['p95'] * 1000:8.2f}ms "
+                f"p99={stats['p99'] * 1000:8.2f}ms "
+                f"max={stats['max'] * 1000:8.2f}ms"
+            )
+        if args.out:
+            print(f"  trajectory written to {args.out}")
+    for error in report.errors:
+        print(f"error: {error}", file=sys.stderr)
+    _export_obs(args)
+    _record_history(
+        args,
+        command="loadgen",
+        label=f"clients={args.clients} edits={args.edits}",
+        fingerprint=fingerprint_text(
+            f"loadgen:{args.clients}:{args.edits}:{args.lines}:{args.seed}"
+        ),
+        config={
+            "clients": args.clients,
+            "edits": args.edits,
+            "lines": args.lines,
+            "seed": args.seed,
+        },
+        wall_seconds=report.wall_seconds,
+        peak_mb=0.0,
+        exit_code=EXIT_CLEAN if not report.errors else EXIT_ERROR,
+        quiet=args.json,
+    )
+    return EXIT_CLEAN if not report.errors else EXIT_ERROR
 
 
 def _open_history(args: argparse.Namespace):
@@ -1411,6 +1632,181 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.set_defaults(func=cmd_serve)
 
+    daemon = sub.add_parser(
+        "daemon",
+        help="run the persistent analysis service: queued jobs, warm "
+        "incremental sessions, /v1/check and /v1/edit over HTTP "
+        "(see docs/service.md)",
+        parents=[obs],
+    )
+    daemon.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        metavar="PORT",
+        help="port to bind on 127.0.0.1 (default 0 = pick a free port; "
+        "the chosen port is printed on stdout and shown in /healthz)",
+    )
+    daemon.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="analysis worker threads (default %(default)s)",
+    )
+    daemon.add_argument(
+        "--queue-max",
+        type=int,
+        default=16,
+        metavar="N",
+        help="admission-control queue bound; requests past it get "
+        "429 + Retry-After (default %(default)s)",
+    )
+    daemon.add_argument(
+        "--max-sessions",
+        type=int,
+        default=32,
+        metavar="N",
+        help="warm sessions kept resident (LRU past this; default "
+        "%(default)s)",
+    )
+    daemon.add_argument(
+        "--cache-dir",
+        default="",
+        metavar="DIR",
+        help="on-disk artifact store sessions fall through to on a warm "
+        "miss (default: the REPRO_CACHE_DIR environment variable, else "
+        "off)",
+    )
+    daemon.add_argument("--depth", type=int, default=6, help="max calling contexts")
+    daemon.add_argument(
+        "--pta",
+        default="",
+        choices=["fi", "fs"],
+        help="points-to precision tier (fi | fs; default REPRO_PTA, else fi)",
+    )
+    daemon.add_argument("--no-smt", action="store_true", help="path-insensitive mode")
+    daemon.add_argument(
+        "--verify", default="", choices=["off", "fast", "full"],
+        help="self-verification mode for every job (as in 'check')",
+    )
+    daemon.add_argument(
+        "--deadline",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="default per-request wall budget (requests may tighten, "
+        "never widen it)",
+    )
+    daemon.add_argument(
+        "--smt-deadline", type=float, default=0.0, metavar="SECONDS",
+        help="default per-request per-query SMT ceiling",
+    )
+    daemon.add_argument(
+        "--max-steps", type=int, default=0, metavar="N",
+        help="default per-request step budget",
+    )
+    daemon.set_defaults(func=cmd_daemon)
+
+    client = sub.add_parser(
+        "client",
+        help="talk to a running 'repro daemon' (check, edit, job, "
+        "result, health, sessions)",
+    )
+    client.add_argument(
+        "--port", type=int, required=True, metavar="PORT",
+        help="daemon port (from its startup line or /healthz)",
+    )
+    client.add_argument("--host", default="127.0.0.1", help=argparse.SUPPRESS)
+    client.add_argument(
+        "--timeout", type=float, default=600.0, metavar="SECONDS",
+        help="HTTP timeout per request (default %(default)s)",
+    )
+    client_sub = client.add_subparsers(dest="client_command", required=True)
+    c_check = client_sub.add_parser(
+        "check", help="submit a full-program check (POST /v1/check)"
+    )
+    c_check.add_argument("file", help="program file ('-' for stdin)")
+    c_check.add_argument(
+        "--session",
+        default="",
+        metavar="NAME",
+        help="warm session to run in (re-checks in the same session "
+        "reuse unchanged functions; default: a fresh anonymous session)",
+    )
+    c_check.add_argument(
+        "--checker", choices=sorted(CHECKERS), default="",
+        help="run one checker (default: all of them)",
+    )
+    c_check.add_argument("--all", action="store_true", help="run every checker")
+    c_check.add_argument(
+        "--no-wait", action="store_true",
+        help="return the job id immediately instead of the result",
+    )
+    c_edit = client_sub.add_parser(
+        "edit",
+        help="re-check after editing one function (POST /v1/edit)",
+    )
+    c_edit.add_argument("session", help="warm session holding the program")
+    c_edit.add_argument(
+        "file", help="file with the edited function's text ('-' for stdin)"
+    )
+    c_edit.add_argument(
+        "--function", default="", metavar="NAME",
+        help="expected function name (rejected if the text defines another)",
+    )
+    c_edit.add_argument(
+        "--checker", choices=sorted(CHECKERS), default="",
+        help="run one checker (default: all of them)",
+    )
+    c_edit.add_argument("--all", action="store_true", help="run every checker")
+    c_job = client_sub.add_parser("job", help="job status (GET /v1/jobs/<id>)")
+    c_job.add_argument("id", help="job id")
+    c_result = client_sub.add_parser(
+        "result", help="job result (GET /v1/results/<id>)"
+    )
+    c_result.add_argument("id", help="job id")
+    client_sub.add_parser("health", help="daemon health (GET /healthz)")
+    client_sub.add_parser(
+        "sessions", help="resident warm sessions (GET /v1/sessions)"
+    )
+    client.set_defaults(func=cmd_client)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="drive a running daemon with concurrent mixed "
+        "cold/warm/edit traffic and report latency quantiles",
+        parents=[obs],
+    )
+    loadgen.add_argument(
+        "--port", type=int, required=True, metavar="PORT", help="daemon port"
+    )
+    loadgen.add_argument("--host", default="127.0.0.1", help=argparse.SUPPRESS)
+    loadgen.add_argument(
+        "--clients", type=int, default=4, metavar="N",
+        help="concurrent clients, one warm session each (default %(default)s)",
+    )
+    loadgen.add_argument(
+        "--edits", type=int, default=8, metavar="N",
+        help="single-function edit re-checks per client (default %(default)s)",
+    )
+    loadgen.add_argument(
+        "--lines", type=int, default=250, metavar="N",
+        help="approximate generated program size per client "
+        "(default %(default)s)",
+    )
+    loadgen.add_argument("--seed", type=int, default=7, help="workload seed")
+    loadgen.add_argument("--json", action="store_true", help="JSON output")
+    loadgen.add_argument(
+        "--samples", action="store_true",
+        help="include per-request samples in --json output",
+    )
+    loadgen.add_argument(
+        "--out", default="", metavar="FILE",
+        help="write the full latency trajectory (summary + samples) here",
+    )
+    loadgen.set_defaults(func=cmd_loadgen)
+
     history = sub.add_parser(
         "history",
         help="inspect the run-history store (--history-dir / "
@@ -1519,6 +1915,11 @@ def main(argv=None) -> int:
     except ValueError as error:
         # Configuration errors (EngineConfig/ResourceBudget validation,
         # malformed --fault specs) are usage errors, not crashes.
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_ERROR
+    except OSError as error:
+        # Unreadable input / unwritable output paths are hard errors
+        # (exit 2), not tracebacks.
         print(f"error: {error}", file=sys.stderr)
         return EXIT_ERROR
 

@@ -18,6 +18,7 @@ One bottom-up pass over the call graph per checker.  For each function:
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
@@ -38,6 +39,7 @@ from repro.ir import cfg
 from repro.ir.dominance import dominators
 from repro.lang import ast
 from repro.obs.log import get_logger
+from repro.obs.metrics import get_registry
 from repro.obs.progress import get_progress
 from repro.obs.trace import trace as obs_trace
 from repro.robust.budget import ResourceBudget
@@ -243,6 +245,13 @@ class Pinpoint:
         from repro.pta.flowsense import resolve_pta_tier
 
         self.pta_tier = resolve_pta_tier(self.config.pta_tier)
+        # Session-level check memo (set by IncrementalAnalyzer): lets a
+        # checker run replay per-function results for functions whose
+        # prepared artifacts AND transitive callee check-results are
+        # unchanged since the previous run.  ``prepare_digests`` maps
+        # function name -> digest of its prepare cache key.
+        self.check_memo: Optional["CheckMemo"] = None
+        self.prepare_digests: Dict[str, str] = {}
         # Artifact store (set by from_source) so per-function escalation
         # can reuse/persist fs-tier artifacts under their own digests.
         self._store = None
@@ -539,6 +548,108 @@ class Pinpoint:
         return prepared_fs, None
 
 
+@dataclass
+class CheckMemoEntry:
+    """One function's recorded check-phase results.
+
+    Valid exactly while ``key`` matches: the key chains the function's
+    prepare digest with the check keys of every callee whose summaries
+    were visible during its processing, so any change in its own
+    artifacts or anywhere below it in the call graph produces a
+    different key and forces a live re-run.
+    """
+
+    key: str
+    summaries: FunctionSummaries
+    reports: List[BugReport]
+    diagnostics: List  # Diagnostic attempts made while processing
+    stats_delta: Dict[str, float]
+
+
+class CheckMemo:
+    """Per-checker tables of :class:`CheckMemoEntry`, owned by a
+    long-lived :class:`~repro.core.incremental.IncrementalAnalyzer`.
+
+    This is the check-phase half of warm re-checks: the prepare cache
+    alone makes re-*preparation* incremental, but a checker run still
+    walks every function.  With the memo, unchanged functions replay
+    their summaries/reports/diagnostics in microseconds and only the
+    edit-invalidated cone is searched for real — which is what takes a
+    single-function edit re-check from "proportional to program size"
+    to millisecond-class.
+    """
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, Dict[str, CheckMemoEntry]] = {}
+
+    def table(self, checker: str) -> Dict[str, CheckMemoEntry]:
+        return self._tables.setdefault(checker, {})
+
+    def invalidate(self, name: Optional[str] = None) -> None:
+        if name is None:
+            self._tables.clear()
+            return
+        for table in self._tables.values():
+            table.pop(name, None)
+
+    def prune(self, live: Set[str]) -> None:
+        """Drop entries for functions no longer in the program."""
+        for table in self._tables.values():
+            for name in [n for n in table if n not in live]:
+                del table[name]
+
+    def __len__(self) -> int:
+        return sum(len(table) for table in self._tables.values())
+
+
+class _CaptureLog(DiagnosticLog):
+    """Tees diagnostics to the run log while keeping this function's own
+    attempt list (pre-dedup) for the check memo.
+
+    Recording *attempts* rather than "what the run log actually
+    appended" matters: a diagnostic this function raises may have been
+    deduplicated away because an earlier function already raised the
+    same key — but on a later warm run where that earlier function was
+    edited and no longer raises it, the replay must still surface this
+    function's attempt, exactly as a cold run would.
+    """
+
+    def __init__(self, target: DiagnosticLog) -> None:
+        super().__init__()
+        self._target = target
+
+    def add(self, diag) -> None:
+        key = (diag.stage, diag.unit, diag.reason, diag.line)
+        if key not in self._seen:
+            self._seen.add(key)
+            self.entries.append(diag)
+        # Metrics and run-level dedup stay the target's business.
+        self._target.add(diag)
+
+
+class _TeeReports:
+    """Stands in for the run's report dict while one function records.
+
+    Inserts are forwarded to the real dict, but every distinct attempted
+    key is also kept — even when run-level dedup makes the insert a
+    no-op, because a (source, sink) pair can be derivable from more than
+    one processing function and the replay of *this* function must not
+    depend on which other function got there first (same rationale as
+    :class:`_CaptureLog`).
+    """
+
+    def __init__(self, target: Dict[tuple, BugReport]) -> None:
+        self._target = target
+        self._seen: Set[tuple] = set()
+        self.attempts: List[BugReport] = []
+
+    def setdefault(self, key: tuple, report: BugReport) -> BugReport:
+        if key not in self._seen:
+            self._seen.add(key)
+            self.attempts.append(report)
+        return self._target.setdefault(key, report)
+
+
 class _CheckerRun:
     """One checker's bottom-up pass (summaries + bug search)."""
 
@@ -563,11 +674,26 @@ class _CheckerRun:
         # path-insensitively (no condition assembly, no solving).
         self.reduced_precision = False
         self._search_start = time.perf_counter()
+        # Session check memo (only under an IncrementalAnalyzer).  Off
+        # whenever results could be time-dependent: a limited budget may
+        # degrade mid-run, and the fs tier mutates prepared artifacts
+        # between the two _check_once passes.
+        self._memo_table: Optional[Dict[str, CheckMemoEntry]] = None
+        if (
+            engine.check_memo is not None
+            and engine.prepare_digests
+            and engine.pta_tier != "fs"
+            and not self.budget.limited
+        ):
+            self._memo_table = engine.check_memo.table(checker.name)
+        self._memo_keys: Dict[str, str] = {}
 
     # ------------------------------------------------------------------
     def execute(self) -> CheckResult:
         self._search_start = time.perf_counter()
         self.budget.start()
+        if self._memo_table is not None:
+            self._compute_memo_keys()
         for name in self.module.order:
             zone = Quarantine(self.diagnostics, STAGE_CHECKER, name)
             with zone:
@@ -619,13 +745,150 @@ class _CheckerRun:
         )
 
     # ------------------------------------------------------------------
+    # Session check memo: key computation, replay, recording
+    # ------------------------------------------------------------------
+    def _compute_memo_keys(self) -> None:
+        """Assign a check key to every memoizable function, in bottom-up
+        order (so a caller's key can chain its callees' keys).
+
+        A function's check-phase output is a pure function of
+
+        - the checker + engine configuration,
+        - its own prepared artifacts (the prepare digest), and
+        - for each call site: whether the callee is defined, and — when
+          the callee's summaries were visible during processing — the
+          callee's own check key (covering the summaries' content
+          transitively).
+
+        A callee that was processed *before* this function but has no
+        key (unmemoizable, or quarantined at SEG) makes this function
+        unmemoizable too: its summaries-visibility can't be
+        fingerprinted.  A defined callee processed *after* it (a
+        same-SCC member later in the rotation) contributed no summaries,
+        only its "defined" bit, so an opaque marker suffices.
+        """
+        config = self.config
+        config_sig = "|".join(
+            (
+                self.checker.name,
+                str(config.max_call_depth),
+                str(config.use_linear_filter),
+                str(config.use_smt),
+                str(config.max_paths_per_source),
+                str(config.max_reports_per_function),
+                self.engine.verify_mode,
+                self.engine.pta_tier,
+                str(self.absence_mode),
+            )
+        )
+        callgraph = self.module.callgraph
+        callees_of = callgraph.callees if callgraph is not None else {}
+        defined = self.module.functions
+        processed: Set[str] = set()
+        for name in self.module.order:
+            digest = self.engine.prepare_digests.get(name)
+            memoizable = digest is not None and name in self.engine.functions
+            parts = [config_sig, str(digest)]
+            if memoizable:
+                for callee in sorted(callees_of.get(name, ())):
+                    if callee == name:
+                        # Self-recursive call: during its own processing a
+                        # function sees only its in-progress summaries —
+                        # no external dependency.
+                        parts.append("self")
+                    elif callee in processed:
+                        callee_key = self._memo_keys.get(callee)
+                        if callee_key is None:
+                            memoizable = False
+                            break
+                        parts.append(callee_key)
+                    elif callee in defined:
+                        parts.append(f"opaque:{callee}")
+                    else:
+                        parts.append(f"ext:{callee}")
+            processed.add(name)
+            if memoizable:
+                self._memo_keys[name] = hashlib.sha256(
+                    "\x1f".join(parts).encode("utf-8")
+                ).hexdigest()
+
+    @staticmethod
+    def _numeric_stats(stats: EngineStats) -> Dict[str, float]:
+        return {
+            key: value
+            for key, value in stats.as_dict().items()
+            if isinstance(value, (int, float)) and not isinstance(value, bool)
+        }
+
+    def _replay(self, name: str, entry: CheckMemoEntry) -> None:
+        self.summaries[name] = entry.summaries
+        for report in entry.reports:
+            self.reports.setdefault(report.key(), report)
+        for diag in entry.diagnostics:
+            self.diagnostics.add(diag)
+        for field_name, delta in entry.stats_delta.items():
+            setattr(
+                self.stats, field_name, getattr(self.stats, field_name) + delta
+            )
+        get_registry().counter(
+            "engine.check_cache.hit",
+            "Functions whose check-phase results were replayed from the"
+            " session memo",
+        ).inc(checker=self.checker.name)
+
+    def _process_recording(
+        self, name: str, pf: PinpointFunction, key: str
+    ) -> None:
+        """Run the function live and record a memo entry on success."""
+        stats_before = self._numeric_stats(self.stats)
+        run_log = self.diagnostics
+        run_reports = self.reports
+        capture = _CaptureLog(run_log)
+        tee = _TeeReports(run_reports)
+        self.diagnostics = capture
+        self.reports = tee  # type: ignore[assignment]
+        try:
+            self._process_prepared(name, pf)
+        finally:
+            self.diagnostics = run_log
+            self.reports = run_reports
+        stats_after = self._numeric_stats(self.stats)
+        delta = {
+            field_name: value - stats_before[field_name]
+            for field_name, value in stats_after.items()
+            if value != stats_before[field_name]
+        }
+        self._memo_table[name] = CheckMemoEntry(
+            key=key,
+            summaries=self.summaries[name],
+            reports=list(tee.attempts),
+            diagnostics=list(capture.entries),
+            stats_delta=delta,
+        )
+        get_registry().counter(
+            "engine.check_cache.miss",
+            "Functions whose check phase ran live and was recorded",
+        ).inc(checker=self.checker.name)
+
+    # ------------------------------------------------------------------
     def _process_function(self, name: str) -> None:
         pf = self.engine.functions.get(name)
         if pf is None:
             return  # quarantined at SEG construction
+        # Per-function ident numbering: see ContextAllocator.reset.
+        self.contexts.reset()
+        key = self._memo_keys.get(name)
+        if key is not None:
+            entry = self._memo_table.get(name)
+            if entry is not None and entry.key == key:
+                self._replay(name, entry)
+                return
         with obs_trace("checker.fn", unit=name) as span:
             smt_before = self.smt.queries
-            self._process_prepared(name, pf)
+            if key is None:
+                self._process_prepared(name, pf)
+            else:
+                self._process_recording(name, pf, key)
             span.set(smt_queries=self.smt.queries - smt_before)
 
     def _process_prepared(self, name: str, pf: PinpointFunction) -> None:

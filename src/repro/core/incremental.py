@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from repro.cache.keys import key_digest, prepare_cache_key
-from repro.core.engine import EngineConfig, Pinpoint
+from repro.core.engine import CheckMemo, EngineConfig, Pinpoint
 from repro.core.pipeline import (
     PreparedFunction,
     PreparedModule,
@@ -51,6 +51,11 @@ class IncrementalStats:
 class _CacheEntry:
     key: Tuple
     prepared: PreparedFunction
+    # The SEG the engine built from these artifacts, harvested after
+    # engine construction so the next warm run skips the rebuild (same
+    # contract as the on-disk store's seg column: purely derived data,
+    # keyed by the same fingerprints).
+    seg: Optional[object] = None
 
 
 class IncrementalAnalyzer:
@@ -69,14 +74,31 @@ class IncrementalAnalyzer:
         self.config = config
         self.store = store
         self._cache: Dict[str, _CacheEntry] = {}
+        # Check-phase memo: per-checker, per-function summaries/reports
+        # recorded by the engine so warm re-checks replay unchanged
+        # functions instead of re-searching them (see
+        # :class:`repro.core.engine.CheckMemo`).  The prepare cache
+        # bounds re-*preparation* to the edit's invalidation cone; this
+        # bounds the *checker pass* the same way.
+        self.check_memo = CheckMemo()
         self.last_stats = IncrementalStats()
 
-    def analyze(self, source: str) -> Pinpoint:
+    def analyze(self, source: str, budget=None) -> Pinpoint:
         """Prepare (incrementally) and wrap in an engine."""
         program = parse_program(source)
-        return self.analyze_program(program)
+        return self.analyze_program(program, budget=budget)
 
-    def analyze_program(self, program: ast.Program) -> Pinpoint:
+    @property
+    def warm(self) -> bool:
+        """Has this analyzer prepared at least one program already?
+        (The service layer uses this to classify requests cold/warm.)"""
+        return bool(self._cache)
+
+    @property
+    def cached_functions(self) -> int:
+        return len(self._cache)
+
+    def analyze_program(self, program: ast.Program, budget=None) -> Pinpoint:
         from repro.pta.flowsense import resolve_pta_tier
 
         tier = resolve_pta_tier(
@@ -112,6 +134,8 @@ class IncrementalAnalyzer:
             registry = get_registry()
             if cached is not None and cached.key == key:
                 result = cached.prepared
+                if cached.seg is not None:
+                    prepared.segs[name] = cached.seg
                 stats.reused += 1
                 registry.counter(
                     "engine.prepare_cache.hit",
@@ -143,12 +167,28 @@ class IncrementalAnalyzer:
                     ).inc()
                     if self.store is not None:
                         self.store.put(key_digest(key), name, result)
-            next_cache[name] = _CacheEntry(key, result)
+            next_cache[name] = _CacheEntry(
+                key, result, seg=prepared.segs.get(name)
+            )
             signatures[name] = result.signature
             prepared.functions[name] = result
         self._cache = next_cache
         self.last_stats = stats
-        return Pinpoint(prepared, self.config)
+        self.check_memo.prune(set(next_cache))
+        engine = Pinpoint(prepared, self.config, budget)
+        engine.check_memo = self.check_memo
+        engine.prepare_digests = {
+            name: key_digest(entry.key) for name, entry in next_cache.items()
+        }
+        # Harvest the SEGs this engine just built (before any check-time
+        # fs escalation can swap functions to the precise tier, so the
+        # cached SEG always matches the cached fi artifacts).
+        for name, entry in next_cache.items():
+            if entry.seg is None:
+                pf = engine.functions.get(name)
+                if pf is not None:
+                    entry.seg = pf.seg
+        return engine
 
     def invalidate(self, name: Optional[str] = None) -> None:
         """Drop one function's cache entry, or everything."""
@@ -156,3 +196,32 @@ class IncrementalAnalyzer:
             self._cache.clear()
         else:
             self._cache.pop(name, None)
+        self.check_memo.invalidate(name)
+
+
+def apply_function_edit(
+    program: ast.Program, new_func: ast.FuncDef
+) -> ast.Program:
+    """A new program with one function's definition replaced.
+
+    This is the single-function-delta entry point the analysis daemon's
+    ``/v1/edit`` endpoint builds on: the caller parses just the edited
+    function's text, splices it over the old definition here, and feeds
+    the result back through :meth:`IncrementalAnalyzer.analyze_program`
+    — where the AST x interface fingerprints confine re-preparation to
+    the edited function (plus interface-invalidated callers).
+
+    The input program is not mutated (sessions keep it as their current
+    state until the re-check succeeds).  Raises ``KeyError`` when the
+    program has no function of that name — an edit can change a body or
+    interface, not add or remove functions (submit a full ``/v1/check``
+    for structural changes).
+    """
+    if not any(f.name == new_func.name for f in program.functions):
+        raise KeyError(new_func.name)
+    return ast.Program(
+        functions=[
+            new_func if f.name == new_func.name else f
+            for f in program.functions
+        ]
+    )

@@ -53,6 +53,34 @@ class BugReport:
         return text
 
 
+def report_as_dict(report: "BugReport") -> dict:
+    """The canonical JSON shape of one report.
+
+    Single source of truth shared by ``repro check --json``, the SARIF
+    exporter's property bag, and the analysis daemon's result documents —
+    byte-identity assertions between those surfaces compare exactly this.
+    """
+    return {
+        "checker": report.checker,
+        "source": {
+            "function": report.source.function,
+            "line": report.source.line,
+            "variable": report.source.variable,
+        },
+        "sink": {
+            "function": report.sink.function,
+            "line": report.sink.line,
+            "variable": report.sink.variable,
+        },
+        "path": [
+            {"function": loc.function, "line": loc.line, "variable": loc.variable}
+            for loc in report.path
+        ],
+        "condition": report.condition,
+        "verdict": report.verdict,
+    }
+
+
 @dataclass
 class EngineStats:
     """Counters mirroring the paper's evaluation dimensions.

@@ -35,7 +35,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.obs.export import atomic_write, ensure_parent_dir
+from repro.obs.export import append_line, atomic_write, ensure_parent_dir
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 
 #: Bump when a record field changes meaning; readers skip newer schemas.
@@ -47,14 +47,22 @@ HISTORY_DIR_ENV = "REPRO_HISTORY_DIR"
 RUNS_FILE = "runs.jsonl"
 INDEX_FILE = "index.json"
 
-#: Histograms summarized (p50/p95/p99) into every run record.
-RECORD_HISTOGRAMS = ("smt.solve_seconds",)
+#: Histograms summarized (p50/p95/p99) into every run record.  The
+#: daemon's request-latency histogram rides along so ``repro daemon`` /
+#: ``repro loadgen`` runs carry their service quantiles into history,
+#: where the trend gate below can watch them.
+RECORD_HISTOGRAMS = ("smt.solve_seconds", "service.request_seconds")
+
+#: The record-quantile key the service-latency trend gate watches.
+SERVICE_HISTOGRAM = "service.request_seconds"
 
 #: Default regression thresholds (see :class:`TrendThresholds`).
 DEFAULT_WALL_RATIO = 1.50
 DEFAULT_MEM_RATIO = 1.50
 DEFAULT_WALL_FLOOR_SECONDS = 0.05
 DEFAULT_MEM_FLOOR_MB = 8.0
+DEFAULT_SERVICE_P95_RATIO = 1.50
+DEFAULT_SERVICE_P95_FLOOR_SECONDS = 0.010
 DEFAULT_BASELINE_RUNS = 5
 DEFAULT_MIN_RUNS = 1
 
@@ -244,7 +252,12 @@ class HistoryStore:
     def append(self, record: Dict[str, Any]) -> str:
         """Append one record; returns its assigned ``run_id``.
 
-        The JSONL append is a single ``write`` of one line; the index is
+        The JSONL append is a single ``write(2)`` on an ``O_APPEND``
+        descriptor (:func:`repro.obs.export.append_line`), which is what
+        makes *concurrent* appenders safe: POSIX appends each record's
+        one write at the current end of file, so parallel CI jobs or a
+        daemon recording next to a one-shot run can share a history dir
+        without ever interleaving bytes mid-line.  The index is
         rewritten atomically afterwards, so a crash between the two at
         worst loses the index entry — :meth:`reindex` rebuilds it."""
         index = self.index()
@@ -252,8 +265,7 @@ class HistoryStore:
         record = dict(record)
         record["run_id"] = run_id
         ensure_parent_dir(self.runs_path)
-        with open(self.runs_path, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        append_line(self.runs_path, json.dumps(record, sort_keys=True))
         index.append(_index_entry(run_id, record))
         atomic_write(
             self.index_path,
@@ -339,6 +351,11 @@ class TrendThresholds:
     mem_ratio: float = DEFAULT_MEM_RATIO
     wall_floor_seconds: float = DEFAULT_WALL_FLOOR_SECONDS
     mem_floor_mb: float = DEFAULT_MEM_FLOOR_MB
+    # Service request-latency gate (daemon / loadgen runs): the p95 of
+    # ``service.request_seconds`` regresses under the same ratio+floor
+    # rule as wall time.  Runs without the histogram are unaffected.
+    service_p95_ratio: float = DEFAULT_SERVICE_P95_RATIO
+    service_p95_floor_seconds: float = DEFAULT_SERVICE_P95_FLOOR_SECONDS
     baseline_runs: int = DEFAULT_BASELINE_RUNS
     min_runs: int = DEFAULT_MIN_RUNS
 
@@ -448,6 +465,31 @@ def compute_trend(
                 "threshold_ratio": thresholds.mem_ratio,
             }
         )
+
+    def _service_p95(record: Dict[str, Any]) -> Optional[float]:
+        value = (
+            record.get("quantiles", {}).get(SERVICE_HISTOGRAM, {}).get("p95")
+        )
+        return float(value) if isinstance(value, (int, float)) else None
+
+    latest_p95 = _service_p95(latest)
+    prior_p95 = [v for v in (_service_p95(r) for r in prior) if v is not None]
+    if latest_p95 is not None and prior_p95:
+        base_p95 = round(_median(prior_p95), 6)
+        baseline["service_p95_seconds"] = base_p95
+        if (
+            latest_p95 > base_p95 * thresholds.service_p95_ratio
+            and latest_p95 - base_p95 > thresholds.service_p95_floor_seconds
+        ):
+            regressions.append(
+                {
+                    "metric": "service_p95_seconds",
+                    "latest": latest_p95,
+                    "baseline": base_p95,
+                    "ratio": round(latest_p95 / base_p95, 3) if base_p95 else None,
+                    "threshold_ratio": thresholds.service_p95_ratio,
+                }
+            )
 
     found = latest.get("findings", {}).get("total", 0)
     if found != baseline["findings"]:

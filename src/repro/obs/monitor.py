@@ -88,6 +88,10 @@ class _MonitorHandler(BaseHTTPRequestHandler):
         self._send_json(
             {
                 "ok": True,
+                # The bound port, so a scraper that found us via a
+                # printed ephemeral-port line can confirm it has the
+                # right process.
+                "port": self.server.server_address[1],
                 "stage": snapshot["stage"],
                 "running": snapshot["running"],
                 "degraded": snapshot["degraded"],

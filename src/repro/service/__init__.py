@@ -1,0 +1,37 @@
+"""Analysis-as-a-service: the persistent ``repro daemon``.
+
+The package splits along the request's path through the daemon:
+
+- :mod:`repro.service.jobs` — job table and admission control (the
+  429 + Retry-After overload contract);
+- :mod:`repro.service.session` — warm per-program analysis sessions
+  over :class:`~repro.core.incremental.IncrementalAnalyzer`;
+- :mod:`repro.service.server` — the HTTP surface and worker pool;
+- :mod:`repro.service.client` — stdlib client used by the CLI/tests/CI;
+- :mod:`repro.service.loadgen` — concurrent mixed-workload latency
+  measurement.
+
+See ``docs/service.md`` for the API and the byte-identity/overload
+contracts.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import AdmissionQueue, Job, JobTable
+from repro.service.loadgen import LoadConfig, LoadReport, run_load
+from repro.service.server import ServiceConfig, ServiceServer
+from repro.service.session import Session, SessionCache
+
+__all__ = [
+    "AdmissionQueue",
+    "Job",
+    "JobTable",
+    "LoadConfig",
+    "LoadReport",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceServer",
+    "Session",
+    "SessionCache",
+    "run_load",
+]

@@ -1,0 +1,194 @@
+"""Load generator for the analysis daemon.
+
+Drives a running daemon with N concurrent clients over a mixed
+cold/warm/edit workload and reports client-visible latency quantiles
+per request kind.  This is the measurement half of the service story:
+the daemon's reason to exist is that a warm *edit* re-check is
+milliseconds while a cold check is the full pipeline, and this module
+produces the numbers that prove (or regress) that.
+
+Each client owns one session and walks the realistic loop:
+
+1. **cold** — first full check of its (synthetic, seeded) program;
+2. **warm** — re-check of the identical program (everything reused);
+3. **edit** x K — ``/v1/edit`` body tweaks of a dedicated knob
+   function, the daemon's single-function delta path.
+
+A 429 is obeyed, not counted as failure: the client sleeps the
+``Retry-After`` the daemon suggested and retries — rejections are
+tallied separately so overload shows up in the summary.
+
+Used by ``repro loadgen``, ``benchmarks/bench_service_latency.py`` and
+the CI service job.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.service.client import ServiceClient, ServiceError
+
+#: Give up on one request after this many 429-backoff rounds.
+MAX_RETRIES = 50
+
+
+@dataclass
+class LoadConfig:
+    clients: int = 4
+    edits_per_client: int = 8
+    target_lines: int = 250
+    seed: int = 7
+    checkers: Any = "all"
+    #: Cap one backoff sleep (Retry-After can be large under deep queues).
+    max_backoff_seconds: float = 2.0
+    session_prefix: str = "load"
+
+
+@dataclass
+class LoadReport:
+    """Everything one run of the generator measured."""
+
+    samples: List[Dict[str, Any]] = field(default_factory=list)
+    rejected: int = 0
+    errors: List[str] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    def latencies(self, kind: str) -> List[float]:
+        return sorted(
+            s["seconds"] for s in self.samples if s["kind"] == kind
+        )
+
+    def summary(self) -> Dict[str, Any]:
+        kinds: Dict[str, Any] = {}
+        for kind in ("cold", "warm", "edit"):
+            values = self.latencies(kind)
+            if not values:
+                continue
+            kinds[kind] = {
+                "count": len(values),
+                "p50": percentile(values, 0.50),
+                "p95": percentile(values, 0.95),
+                "p99": percentile(values, 0.99),
+                "mean": sum(values) / len(values),
+                "max": values[-1],
+            }
+        return {
+            "kinds": kinds,
+            "requests": len(self.samples),
+            "rejected": self.rejected,
+            "errors": len(self.errors),
+            "wall_seconds": round(self.wall_seconds, 3),
+        }
+
+
+def percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, int(q * len(sorted_values))))
+    return sorted_values[rank]
+
+
+def _knob_text(index: int, value: int) -> str:
+    return f"fn loadgen_knob_{index}() {{ return {value}; }}"
+
+
+def client_source(config: LoadConfig, index: int) -> str:
+    """The synthetic program client ``index`` checks: a seeded generator
+    program plus a knob function whose body the edit phase tweaks."""
+    from repro.synth.generator import GeneratorConfig, generate_program
+
+    program = generate_program(
+        GeneratorConfig(
+            seed=config.seed + index, target_lines=config.target_lines
+        )
+    )
+    return program.source + "\n" + _knob_text(index, 0) + "\n"
+
+
+def run_load(
+    port: int,
+    config: Optional[LoadConfig] = None,
+    host: str = "127.0.0.1",
+    on_sample: Optional[Callable[[Dict[str, Any]], None]] = None,
+) -> LoadReport:
+    """Run the mixed workload against ``host:port``; returns the report."""
+    config = config or LoadConfig()
+    report = LoadReport()
+    lock = threading.Lock()
+    start = time.perf_counter()
+
+    def record(kind: str, seconds: float, document: Dict[str, Any]) -> None:
+        timings = document.get("timings", {})
+        sample = {
+            "kind": kind,
+            "seconds": seconds,
+            "t": round(time.perf_counter() - start, 6),
+            "queue_seconds": timings.get("queue_seconds", 0.0),
+            "run_seconds": timings.get("run_seconds", 0.0),
+            "exit_code": document.get("exit_code"),
+            "findings": document.get("findings"),
+            "fingerprint": document.get("fingerprint", ""),
+        }
+        with lock:
+            report.samples.append(sample)
+        if on_sample is not None:
+            on_sample(sample)
+
+    def with_backoff(call: Callable[[], Dict[str, Any]]) -> Dict[str, Any]:
+        for _ in range(MAX_RETRIES):
+            started = time.perf_counter()
+            try:
+                document = call()
+            except ServiceError as exc:
+                if not exc.overloaded:
+                    raise
+                with lock:
+                    report.rejected += 1
+                time.sleep(
+                    min(max(exc.retry_after, 1), config.max_backoff_seconds)
+                )
+                continue
+            document["_seconds"] = time.perf_counter() - started
+            return document
+        raise ServiceError(429, {"error": "gave up after repeated 429s"})
+
+    def client_loop(index: int) -> None:
+        client = ServiceClient(port, host=host)
+        session = f"{config.session_prefix}-{index}"
+        source = client_source(config, index)
+        try:
+            for kind in ("cold", "warm"):
+                document = with_backoff(
+                    lambda: client.check(
+                        source, checkers=config.checkers, session=session
+                    )
+                )
+                record(kind, document.pop("_seconds"), document)
+            for value in range(1, config.edits_per_client + 1):
+                text = _knob_text(index, value)
+                document = with_backoff(
+                    lambda t=text: client.edit(
+                        session, t, checkers=config.checkers
+                    )
+                )
+                record("edit", document.pop("_seconds"), document)
+        except Exception as exc:  # one client's failure must not hang others
+            with lock:
+                report.errors.append(f"client {index}: {exc}")
+
+    threads = [
+        threading.Thread(
+            target=client_loop, args=(i,), name=f"loadgen-client-{i}"
+        )
+        for i in range(config.clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report.wall_seconds = time.perf_counter() - start
+    return report

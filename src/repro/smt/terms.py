@@ -15,6 +15,7 @@ single shared DAG node.
 from __future__ import annotations
 
 import hashlib
+import itertools
 from typing import Iterable, Optional, Tuple
 
 # Term kinds.  Leaf kinds carry a payload in ``value``; interior kinds
@@ -212,7 +213,9 @@ class TermFactory:
 
     def __init__(self) -> None:
         self._table: dict = {}
-        self._next_id = 0
+        # Atomic id source: ``next()`` on a C-level count is safe under
+        # concurrent callers, unlike ``self._next_id += 1``.
+        self._ids = itertools.count()
         # Negation memo (negation is an involution, so cache both ways).
         # Without this, the De Morgan rewrite re-negates whole subtrees
         # at every construction level — exponential on deep nestings.
@@ -221,12 +224,18 @@ class TermFactory:
         self.false = self._mk(KIND_FALSE, (), None)
 
     def _mk(self, kind: str, args: Tuple[Term, ...], value: object) -> Term:
+        # Interning must stay correct when analyses run on concurrent
+        # threads (the repro.service daemon dispatches jobs to a worker
+        # pool in-process): ``setdefault`` is a single atomic dict op,
+        # so two racing constructions of the same key both get the one
+        # canonical Term, and the losing candidate is discarded.  Ids
+        # stay unique via the atomic counter; canonical ordering never
+        # depends on them (structural ``_skey`` ordering, PR 4).
         key = (kind, tuple(a._id for a in args), value)
         term = self._table.get(key)
         if term is None:
-            term = Term(kind, args, value, self._next_id)
-            self._next_id += 1
-            self._table[key] = term
+            candidate = Term(kind, args, value, next(self._ids))
+            term = self._table.setdefault(key, candidate)
         return term
 
     # ------------------------------------------------------------------
