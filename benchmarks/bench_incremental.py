@@ -127,12 +127,22 @@ def test_parallel_scaling_serial_vs_jobs(record_result, results_dir):
     import json
 
     from repro.core.pipeline import prepare_source
+    from repro.obs.metrics import MetricsRegistry, set_registry
 
     program = subject_program("git")
     series = []
     for jobs in (1, 2, 4):
+        # Fresh registry per point so the sched.dispatch.* counters
+        # attribute serialization cost to exactly this run.
+        registry = set_registry(MetricsRegistry())
         _, seconds = time_only(lambda: prepare_source(program.source, jobs=jobs))
-        series.append({"jobs": jobs, "seconds": seconds})
+        point = {"jobs": jobs, "seconds": seconds}
+        for counter in ("serialize_seconds", "serialize_bytes"):
+            metric = registry.get(f"sched.dispatch.{counter}")
+            value = metric.total() if metric is not None else 0.0
+            point[counter] = int(value) if counter.endswith("bytes") else value
+        series.append(point)
+    set_registry(MetricsRegistry())
 
     serial = series[0]["seconds"]
     for point in series:
@@ -142,11 +152,24 @@ def test_parallel_scaling_serial_vs_jobs(record_result, results_dir):
         json.dumps({"subject": "git", "series": series}, indent=2) + "\n"
     )
     rows = [
-        (str(p["jobs"]), f"{p['seconds']:.2f}", f"{p['speedup']:.2f}x")
+        (
+            str(p["jobs"]),
+            f"{p['seconds']:.2f}",
+            f"{p['speedup']:.2f}x",
+            f"{p['serialize_seconds'] * 1e3:.1f}",
+            f"{p['serialize_bytes'] / 1024:.0f}",
+        )
         for p in series
     ]
     record_result(
-        render_table(["jobs", "time (s)", "speedup"], rows), "parallel_scaling"
+        render_table(
+            ["jobs", "time (s)", "speedup", "serialize (ms)", "payload (KiB)"],
+            rows,
+        ),
+        "parallel_scaling",
     )
 
     assert all(p["seconds"] > 0 for p in series)
+    # Parallel points shipped real payloads; the serial point shipped none.
+    assert series[0]["serialize_bytes"] == 0
+    assert all(p["serialize_bytes"] > 0 for p in series[1:])

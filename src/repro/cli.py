@@ -34,13 +34,16 @@ from repro import (
 from repro.cache import open_journal, resolve_cache_dir, resolve_resume
 from repro.lang.parser import ParseError
 from repro.obs import (
+    atomic_write,
     configure_logging,
+    cost_breakdown,
     get_progress,
     get_registry,
     get_tracer,
     measure,
     profile_dict,
     render_profile,
+    render_why_slow,
 )
 from repro.obs.history import (
     BENCH_FILE,
@@ -472,6 +475,14 @@ def cmd_check(args: argparse.Namespace) -> int:
 def cmd_profile(args: argparse.Namespace) -> int:
     """Run the checkers with tracing on and print where time/memory/SMT
     effort went — per pass and per function (paper Figs. 7-10)."""
+    if getattr(args, "compare", None):
+        return _profile_compare(args)
+    if not args.file:
+        print(
+            "error: profile needs a program file (or --compare OLD NEW)",
+            file=sys.stderr,
+        )
+        return EXIT_ERROR
     _setup_obs(args, force_trace=True)
     tracer = get_tracer()
     source = _read(args.file)
@@ -533,6 +544,227 @@ def cmd_profile(args: argparse.Namespace) -> int:
         label=args.file,
         fingerprint=fingerprint_text(source),
         config={"checkers": names, "top": args.top, "smt": not args.no_smt},
+        wall_seconds=measurement.seconds,
+        peak_mb=measurement.peak_mb,
+        exit_code=EXIT_CLEAN,
+        findings=reports,
+        profile=document,
+        quiet=args.json,
+    )
+    get_progress().finish(EXIT_CLEAN)
+    return EXIT_CLEAN
+
+
+def _delta_line(label: str, a: float, b: float, unit: str = "") -> str:
+    """One ``old -> new`` comparison line, shared by ``history diff``
+    and ``profile --compare``."""
+    change = b - a
+    pct = f" ({change / a * 100:+.1f}%)" if a else ""
+    return f"  {label:<16} {a:>10.3f} -> {b:>10.3f}{unit} {change:+.3f}{pct}"
+
+
+def _load_profile_document(path: str) -> Dict:
+    """Load a profile-shaped JSON artifact for ``profile --compare``.
+
+    Accepts a ``profile --json`` dump, a ``why-slow --out`` artifact, or
+    a full run record from ``history show`` (whose embedded ``profile``
+    document is unwrapped, inheriting the record's wall time/label)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict):
+        raise ValueError(f"{path}: expected a JSON object")
+    if isinstance(document.get("profile"), dict):  # run record
+        inner = dict(document["profile"])
+        inner.setdefault("wall_seconds", document.get("wall_seconds", 0.0))
+        inner.setdefault("label", document.get("label", ""))
+        document = inner
+    return document
+
+
+def _profile_stage_map(document: Dict) -> Dict[str, float]:
+    """pass/stage name -> self seconds, across the accepted doc shapes."""
+    stages: Dict[str, float] = {}
+    for row in document.get("passes", []):
+        if isinstance(row, dict) and row.get("name"):
+            stages[str(row["name"])] = float(row.get("self_seconds", 0.0))
+    return stages
+
+
+def _profile_function_map(document: Dict) -> Dict[str, float]:
+    functions: Dict[str, float] = {}
+    for row in document.get("functions", document.get("top_functions", [])):
+        if isinstance(row, dict) and row.get("unit"):
+            functions[str(row["unit"])] = float(row.get("self_seconds", 0.0))
+    return functions
+
+
+def _profile_compare(args: argparse.Namespace) -> int:
+    """``repro profile --compare OLD NEW``: per-stage deltas between two
+    profile/why-slow/history JSON artifacts — the one-command before/after
+    view of a perf PR."""
+    old_path, new_path = args.compare
+    try:
+        old = _load_profile_document(old_path)
+        new = _load_profile_document(new_path)
+    except (OSError, ValueError) as error:
+        print(f"error: cannot read profile document: {error}", file=sys.stderr)
+        return EXIT_ERROR
+
+    stages = sorted(set(_profile_stage_map(old)) | set(_profile_stage_map(new)))
+    old_stages, new_stages = _profile_stage_map(old), _profile_stage_map(new)
+    old_funcs, new_funcs = _profile_function_map(old), _profile_function_map(new)
+    functions = sorted(
+        set(old_funcs) | set(new_funcs),
+        key=lambda unit: max(old_funcs.get(unit, 0.0), new_funcs.get(unit, 0.0)),
+        reverse=True,
+    )[: args.top]
+
+    if args.json:
+        document = {
+            "old": {"path": old_path, "label": old.get("label", "")},
+            "new": {"path": new_path, "label": new.get("label", "")},
+            "wall_seconds": [
+                float(old.get("wall_seconds", 0.0)),
+                float(new.get("wall_seconds", 0.0)),
+            ],
+            "traced_seconds": [
+                float(old.get("traced_seconds", 0.0)),
+                float(new.get("traced_seconds", 0.0)),
+            ],
+            "passes": {
+                name: [old_stages.get(name, 0.0), new_stages.get(name, 0.0)]
+                for name in stages
+            },
+            "functions": {
+                unit: [old_funcs.get(unit, 0.0), new_funcs.get(unit, 0.0)]
+                for unit in functions
+            },
+        }
+        if old.get("shares") or new.get("shares"):
+            document["shares"] = {
+                key: [
+                    float(old.get("shares", {}).get(key, 0.0)),
+                    float(new.get("shares", {}).get(key, 0.0)),
+                ]
+                for key in ("compute", "dispatch_overhead")
+            }
+        json.dump(document, sys.stdout, indent=2)
+        print()
+        return EXIT_CLEAN
+
+    print(f"{old_path} ({old.get('label', '?')}) -> {new_path} ({new.get('label', '?')})")
+    print(
+        _delta_line(
+            "wall_seconds",
+            float(old.get("wall_seconds", 0.0)),
+            float(new.get("wall_seconds", 0.0)),
+            "s",
+        )
+    )
+    print(
+        _delta_line(
+            "traced_seconds",
+            float(old.get("traced_seconds", 0.0)),
+            float(new.get("traced_seconds", 0.0)),
+            "s",
+        )
+    )
+    if old.get("peak_mb") or new.get("peak_mb"):
+        print(
+            _delta_line(
+                "peak_mb",
+                float(old.get("peak_mb", 0.0)),
+                float(new.get("peak_mb", 0.0)),
+                "MB",
+            )
+        )
+    for name in stages:
+        print(
+            _delta_line(
+                f"pass {name}",
+                old_stages.get(name, 0.0),
+                new_stages.get(name, 0.0),
+                "s",
+            )
+        )
+    if functions:
+        print("hottest functions (self seconds):")
+        for unit in functions:
+            print(
+                _delta_line(
+                    f"fn {unit}",
+                    old_funcs.get(unit, 0.0),
+                    new_funcs.get(unit, 0.0),
+                    "s",
+                )
+            )
+    if old.get("shares") or new.get("shares"):
+        for key in ("compute", "dispatch_overhead"):
+            print(
+                _delta_line(
+                    f"share {key}",
+                    float(old.get("shares", {}).get(key, 0.0)),
+                    float(new.get("shares", {}).get(key, 0.0)),
+                )
+            )
+    return EXIT_CLEAN
+
+
+def cmd_why_slow(args: argparse.Namespace) -> int:
+    """Run the checkers with tracing forced on, then answer "where did
+    the wall time go": critical path through the wave barriers, per-wave
+    stragglers, compute-vs-dispatch-overhead split, top functions and
+    SMT consumers (repro.obs.attr)."""
+    _setup_obs(args, force_trace=True)
+    tracer = get_tracer()
+    source = _read(args.file)
+    config = EngineConfig(
+        max_call_depth=args.depth,
+        use_smt=not args.no_smt,
+        pta_tier=getattr(args, "pta", "") or "",
+    )
+    names = [args.checker] if args.checker else list(CHECKERS)
+
+    def analyze():
+        engine = Pinpoint.from_source(
+            source,
+            config,
+            budget=_build_budget(args),
+            recover=True,
+            jobs=args.jobs or None,
+            cache_dir=args.cache_dir or None,
+            worker_timeout=args.worker_timeout,
+        )
+        return [engine.check(CHECKERS[name]()) for name in names]
+
+    get_progress().begin_run("why-slow", label=args.file)
+    results, measurement = measure(analyze)
+    reports = sum(len(result.reports) for result in results)
+    document = cost_breakdown(
+        tracer,
+        get_registry(),
+        measurement,
+        source_label=args.file,
+        top=args.top,
+    )
+    document["checkers"] = names
+    document["reports"] = reports
+    if args.json:
+        json.dump(document, sys.stdout, indent=2)
+        print()
+    else:
+        print(render_why_slow(document, top=args.top))
+    if args.out:
+        atomic_write(args.out, json.dumps(document, indent=2, sort_keys=True) + "\n")
+        if not args.json:
+            print(f"[why-slow] wrote {args.out}")
+    _export_obs(args)
+    _record_history(
+        args,
+        command="why-slow",
+        label=args.file,
+        fingerprint=fingerprint_text(source),
+        config={"checkers": names, "jobs": args.jobs or 0, "top": args.top},
         wall_seconds=measurement.seconds,
         peak_mb=measurement.peak_mb,
         exit_code=EXIT_CLEAN,
@@ -1094,10 +1326,7 @@ def cmd_history_diff(args: argparse.Namespace) -> int:
         print(f"error: no such run: {', '.join(missing)}", file=sys.stderr)
         return EXIT_ERROR
 
-    def delta(label: str, a: float, b: float, unit: str = "") -> str:
-        change = b - a
-        pct = f" ({change / a * 100:+.1f}%)" if a else ""
-        return f"  {label:<16} {a:>10.3f} -> {b:>10.3f}{unit} {change:+.3f}{pct}"
+    delta = _delta_line
 
     if args.json:
         document = {
@@ -1132,6 +1361,20 @@ def cmd_history_diff(args: argparse.Namespace) -> int:
                 int(old.get("sched", {}).get("journal_skips", 0)),
                 int(new.get("sched", {}).get("journal_skips", 0)),
             ],
+            "attr": {
+                "critical_path_seconds": [
+                    float(old.get("sched", {}).get("critical_path_seconds", 0.0)),
+                    float(new.get("sched", {}).get("critical_path_seconds", 0.0)),
+                ],
+                "overhead_ratio": [
+                    float(old.get("sched", {}).get("overhead_ratio", 0.0)),
+                    float(new.get("sched", {}).get("overhead_ratio", 0.0)),
+                ],
+                "utilization": [
+                    float(old.get("sched", {}).get("utilization", 0.0)),
+                    float(new.get("sched", {}).get("utilization", 0.0)),
+                ],
+            },
             "pta": {
                 "tier": [
                     str(old.get("pta", {}).get("tier", "fi")),
@@ -1215,6 +1458,31 @@ def cmd_history_diff(args: argparse.Namespace) -> int:
         )
     if flags:
         print("  " + "; ".join(flags))
+    # Cost attribution (parallel runs): the dispatch-overhead share and
+    # critical path, so "did the perf PR move the split" is one diff.
+    if old_s.get("critical_path_seconds") or new_s.get("critical_path_seconds"):
+        print(
+            delta(
+                "critical_path",
+                float(old_s.get("critical_path_seconds", 0.0)),
+                float(new_s.get("critical_path_seconds", 0.0)),
+                "s",
+            )
+        )
+        print(
+            delta(
+                "overhead_ratio",
+                float(old_s.get("overhead_ratio", 0.0)),
+                float(new_s.get("overhead_ratio", 0.0)),
+            )
+        )
+        print(
+            delta(
+                "utilization",
+                float(old_s.get("utilization", 0.0)),
+                float(new_s.get("utilization", 0.0)),
+            )
+        )
     return EXIT_CLEAN
 
 
@@ -1457,7 +1725,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the checkers and print the hottest passes/functions",
         parents=[obs, par],
     )
-    profile.add_argument("file", help="program file ('-' for stdin)")
+    profile.add_argument(
+        "file",
+        nargs="?",
+        default="",
+        help="program file ('-' for stdin); omit with --compare",
+    )
+    profile.add_argument(
+        "--compare",
+        nargs=2,
+        metavar=("OLD", "NEW"),
+        default=None,
+        help="instead of running, diff two profile/why-slow/history JSON "
+        "artifacts and print per-stage deltas (before/after of a perf PR)",
+    )
     profile.add_argument(
         "--checker",
         choices=sorted(CHECKERS),
@@ -1486,6 +1767,50 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--smt-deadline", type=float, default=0.0, metavar="SECONDS")
     profile.add_argument("--max-steps", type=int, default=0, metavar="N")
     profile.set_defaults(func=cmd_profile)
+
+    why_slow = sub.add_parser(
+        "why-slow",
+        help="run the checkers and attribute the wall time: critical "
+        "path, per-wave stragglers, compute vs dispatch overhead",
+        parents=[obs, par],
+    )
+    why_slow.add_argument("file", help="program file ('-' for stdin)")
+    why_slow.add_argument(
+        "--checker",
+        choices=sorted(CHECKERS),
+        default="",
+        help="analyze a single checker (default: all of them)",
+    )
+    why_slow.add_argument(
+        "--top", type=int, default=10, help="rows per table (default 10)"
+    )
+    why_slow.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the breakdown as JSON instead of tables",
+    )
+    why_slow.add_argument(
+        "--out",
+        default="",
+        metavar="FILE",
+        help="also write the breakdown JSON artifact here (atomic)",
+    )
+    why_slow.add_argument("--depth", type=int, default=6, help="max calling contexts")
+    why_slow.add_argument(
+        "--pta",
+        default="",
+        choices=["fi", "fs"],
+        help="points-to precision tier (fi | fs; default REPRO_PTA, else fi)",
+    )
+    why_slow.add_argument(
+        "--no-smt", action="store_true", help="path-insensitive mode"
+    )
+    why_slow.add_argument("--deadline", type=float, default=0.0, metavar="SECONDS")
+    why_slow.add_argument(
+        "--smt-deadline", type=float, default=0.0, metavar="SECONDS"
+    )
+    why_slow.add_argument("--max-steps", type=int, default=0, metavar="N")
+    why_slow.set_defaults(func=cmd_why_slow)
 
     run = sub.add_parser("run", help="execute a program in the interpreter")
     run.add_argument("file")

@@ -16,6 +16,9 @@ SMT):
   peak-memory capture shared with the benchmark harness;
 - **profiling** (:mod:`repro.obs.profiling`): the ``repro profile``
   per-pass / per-function report (``--json`` for the machine twin);
+- **cost attribution** (:mod:`repro.obs.attr`): critical-path analysis
+  over the cross-process span tree plus the compute-vs-dispatch
+  overhead split behind ``repro why-slow``;
 - **run history** (:mod:`repro.obs.history`): schema-versioned run
   records in an append-only store (``--history-dir`` /
   ``$REPRO_HISTORY_DIR``) with rolling-baseline regression detection
@@ -32,6 +35,7 @@ and golden files are deterministic.  See ``docs/observability.md`` for
 naming conventions and wiring recipes.
 """
 
+from repro.obs.attr import cost_breakdown, critical_path, render_why_slow
 from repro.obs.clock import DEFAULT_CLOCK, ManualClock
 from repro.obs.export import atomic_write, ensure_parent_dir
 from repro.obs.history import (
@@ -69,6 +73,9 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "cost_breakdown",
+    "critical_path",
+    "render_why_slow",
     "DEFAULT_CLOCK",
     "ManualClock",
     "StructuredLogger",

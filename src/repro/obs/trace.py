@@ -32,6 +32,7 @@ from __future__ import annotations
 import functools
 import json
 import threading
+import uuid
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -61,6 +62,8 @@ class _NullSpan:
 
     __slots__ = ()
 
+    uid: Optional[int] = None
+
     def __enter__(self) -> "_NullSpan":
         return self
 
@@ -88,6 +91,15 @@ class _SpanHandle:
     def set(self, **args) -> None:
         """Attach attributes to the span (visible in export/profile)."""
         self.args.update(args)
+
+    @property
+    def uid(self) -> Optional[int]:
+        """This span's uid, once entered (``None`` before ``__enter__``).
+
+        Exposed so dispatch code can hand the uid across a process
+        boundary as the ``parent_span_id`` of a trace context.
+        """
+        return getattr(self, "_uid", None)
 
     def __enter__(self) -> "_SpanHandle":
         tracer = self._tracer
@@ -128,13 +140,30 @@ class Tracer:
     ``parent`` uids to recover the hierarchy.
     """
 
-    def __init__(self, clock: Clock = DEFAULT_CLOCK, enabled: bool = False) -> None:
+    def __init__(
+        self,
+        clock: Clock = DEFAULT_CLOCK,
+        enabled: bool = False,
+        trace_id: str = "",
+    ) -> None:
         self.clock = clock
         self.enabled = enabled
         self.spans: List[Span] = []
         self._lock = threading.Lock()
         self._local = threading.local()
         self._uid = 0
+        self._trace_id = trace_id
+
+    @property
+    def trace_id(self) -> str:
+        """Stable id naming this run's trace, allocated on first use.
+
+        Propagated to workers and daemon jobs so all spans of one run —
+        across processes — share a single trace identity.
+        """
+        if not self._trace_id:
+            self._trace_id = uuid.uuid4().hex[:16]
+        return self._trace_id
 
     # ------------------------------------------------------------------
     def span(self, name: str, unit: str = "", **args):
@@ -147,14 +176,18 @@ class Tracer:
         with self._lock:
             self.spans = []
 
-    def absorb(self, spans: List[Span]) -> None:
+    def absorb(self, spans: List[Span], parent: Optional[int] = None) -> None:
         """Adopt spans recorded by another tracer (a worker process).
 
         Uids are remapped onto this tracer's sequence — preserving
         parent links within the absorbed batch — so absorbed spans can
-        never collide with locally recorded ones.  Start offsets are
-        kept as-is: worker clocks share the parent's origin under
-        ``fork``, and Chrome trace rendering tolerates small skews.
+        never collide with locally recorded ones.  Batch *roots* (spans
+        whose parent is unset or not part of the batch) re-parent under
+        ``parent`` — the local uid of the span that dispatched the
+        remote work — so a worker's task span nests under the wave that
+        submitted it instead of floating free.  Start offsets are kept
+        as-is: worker clocks share the parent's origin under ``fork``,
+        and Chrome trace rendering tolerates small skews.
         """
         if not spans:
             return
@@ -164,6 +197,9 @@ class Tracer:
                 self._uid += 1
                 remap[span.uid] = self._uid
             for span in spans:
+                adopted = remap.get(span.parent) if span.parent else None
+                if adopted is None:
+                    adopted = parent
                 self.spans.append(
                     Span(
                         uid=remap[span.uid],
@@ -172,7 +208,7 @@ class Tracer:
                         duration=span.duration,
                         unit=span.unit,
                         thread_id=span.thread_id,
-                        parent=remap.get(span.parent) if span.parent else None,
+                        parent=adopted,
                         args=dict(span.args),
                     )
                 )

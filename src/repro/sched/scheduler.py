@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import hashlib
 import pickle
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -209,9 +210,18 @@ def prepare_program(
         ).set(1 if state is not None else 0)
 
     pool = WorkerPool(effective_jobs, timeout=worker_timeout) if effective_jobs > 1 else None
+    tracer = get_tracer()
+    # Cost attribution across the wave loop: per-wave wall, per-task
+    # compute, and the per-wave straggler (the one task every other
+    # worker waits on at the barrier) feed the attr.* gauges below.
+    total_wave_seconds = 0.0
+    work_seconds = 0.0
+    critical_path_seconds = 0.0
     try:
         for wave_index, wave in enumerate(waves):
             names = [name for scc in wave for name in scc]
+            wave_started = time.perf_counter()
+            task_seconds: Dict[str, float] = {}
             with trace("sched.wave", unit=str(wave_index)) as span:
                 pending: List[Tuple[str, ast.FuncDef, Dict[str, Any]]] = []
                 for name in names:
@@ -265,25 +275,70 @@ def prepare_program(
                     registry.counter(
                         "sched.tasks", "Function tasks dispatched to workers"
                     ).inc(len(pending))
-                    payloads = [
-                        (
-                            name,
-                            pickle.dumps(
-                                (name, func_ast, usable, wave_index, pta_tier),
-                                protocol=pickle.HIGHEST_PROTOCOL,
-                            ),
+                    wave_uid = getattr(span, "uid", None)
+                    trace_id = tracer.trace_id if tracer.enabled else ""
+                    with trace(
+                        "sched.dispatch.serialize", unit=str(wave_index)
+                    ) as ser_span:
+                        ser_started = time.perf_counter()
+                        payloads = [
+                            (
+                                name,
+                                pickle.dumps(
+                                    (
+                                        name,
+                                        func_ast,
+                                        usable,
+                                        wave_index,
+                                        pta_tier,
+                                        # Trace context: each task carries the
+                                        # wave span it belongs to plus its own
+                                        # submission timestamp (queue wait).
+                                        (trace_id, wave_uid, time.perf_counter()),
+                                    ),
+                                    protocol=pickle.HIGHEST_PROTOCOL,
+                                ),
+                            )
+                            for name, func_ast, usable in pending
+                        ]
+                        serialize_seconds = time.perf_counter() - ser_started
+                        serialize_bytes = sum(len(blob) for _, blob in payloads)
+                        ser_span.set(
+                            tasks=len(payloads), bytes=serialize_bytes
                         )
-                        for name, func_ast, usable in pending
-                    ]
+                    registry.counter(
+                        "sched.dispatch.serialize_seconds",
+                        "Parent-side task payload pickling",
+                    ).inc(serialize_seconds)
+                    registry.counter(
+                        "sched.dispatch.serialize_bytes",
+                        "Task payload bytes shipped to workers",
+                    ).inc(serialize_bytes)
                     raw = pool.run_wave(payloads)
-                    for name, func_ast, _usable in pending:
-                        outcomes[name] = _decode_worker_result(raw[name], name)
+                    result_bytes = 0
+                    with trace("sched.dispatch.decode", unit=str(wave_index)):
+                        for name, func_ast, _usable in pending:
+                            blob = raw[name]
+                            if isinstance(blob, (bytes, bytearray)):
+                                result_bytes += len(blob)
+                            outcomes[name], timings = _decode_worker_result(
+                                blob, name, parent_uid=wave_uid
+                            )
+                            task_seconds[name] = float(
+                                timings.get("task_seconds", 0.0)
+                            )
+                    registry.counter(
+                        "sched.dispatch.result_bytes",
+                        "Outcome bytes shipped back from workers",
+                    ).inc(result_bytes)
                 else:
                     for name, func_ast, usable in pending:
+                        task_started = time.perf_counter()
                         outcomes[name] = _run_inline(
                             name, func_ast, usable, prepared.linear, budget,
                             pta_tier,
                         )
+                        task_seconds[name] = time.perf_counter() - task_started
 
                 # Wave-boundary admission gate: a function must pass the
                 # IR verifier before its connector signature becomes
@@ -327,6 +382,22 @@ def prepare_program(
                         journal.record_function(
                             name, digest_of[name], wave_index
                         )
+                if task_seconds:
+                    slowest = max(task_seconds, key=task_seconds.get)
+                    span.set(
+                        straggler=slowest,
+                        straggler_seconds=round(task_seconds[slowest], 6),
+                    )
+
+            wave_elapsed = time.perf_counter() - wave_started
+            total_wave_seconds += wave_elapsed
+            work_seconds += sum(task_seconds.values())
+            # The wave barrier cannot close before its slowest task; a
+            # wave with no dispatched work still spends its wall time
+            # (cache lookups, journaling) on the critical path.
+            critical_path_seconds += (
+                max(task_seconds.values()) if task_seconds else wave_elapsed
+            )
 
             if journal is not None:
                 journal.record_wave(wave_index)
@@ -349,6 +420,39 @@ def prepare_program(
     finally:
         if pool is not None:
             pool.close()
+
+    # Run-level attribution gauges: computed from plain perf counters,
+    # so they exist (and land in run history) even when tracing is off.
+    registry.gauge(
+        "attr.wave_seconds", "Wall seconds spent inside the wave loop"
+    ).set(round(total_wave_seconds, 6))
+    registry.gauge(
+        "attr.work_seconds", "Summed per-task compute across all waves"
+    ).set(round(work_seconds, 6))
+    registry.gauge(
+        "attr.critical_path_seconds",
+        "Lower bound on scheduler wall: sum of per-wave stragglers",
+    ).set(round(critical_path_seconds, 6))
+    utilization = (
+        work_seconds / (effective_jobs * total_wave_seconds)
+        if total_wave_seconds > 0
+        else 0.0
+    )
+    registry.gauge(
+        "attr.utilization",
+        "Fraction of available worker-seconds spent computing "
+        "(work / jobs x wave wall)",
+    ).set(round(min(1.0, utilization), 4))
+    overhead_ratio = (
+        max(0.0, total_wave_seconds - critical_path_seconds) / total_wave_seconds
+        if total_wave_seconds > 0
+        else 0.0
+    )
+    registry.gauge(
+        "attr.overhead_ratio",
+        "Share of wave wall not explained by straggler compute "
+        "(dispatch, pickling, queueing, barrier waste)",
+    ).set(round(overhead_ratio, 4))
 
     # Serial-order assembly: identical functions/order/diagnostics to a
     # prepare_module run over the same outcomes.
@@ -463,47 +567,74 @@ def _run_inline(
     return _Outcome("prepared", result=result, seg=seg)
 
 
-def _decode_worker_result(raw: object, name: str) -> _Outcome:
-    """Turn one pool result (bytes or WorkerCrash) into an outcome,
-    merging the worker's metrics and spans into this process."""
+def _decode_worker_result(
+    raw: object, name: str, parent_uid: Optional[int] = None
+) -> Tuple[_Outcome, Dict[str, float]]:
+    """Turn one pool result (bytes or WorkerCrash) into an outcome plus
+    the worker's dispatch-timing dict, merging the worker's metrics and
+    spans into this process.  ``parent_uid`` is the local uid of the
+    dispatching wave span: absorbed worker spans re-parent under it so
+    the merged Chrome trace keeps its cross-process causality."""
+    no_timings: Dict[str, float] = {}
     if isinstance(raw, WorkerCrash):
-        return _Outcome("quarantined", stage=STAGE_SCHED, detail=raw.detail)
+        return (
+            _Outcome("quarantined", stage=STAGE_SCHED, detail=raw.detail),
+            no_timings,
+        )
+    decode_started = time.perf_counter()
     try:
         outcome = pickle.loads(raw)
     except Exception as error:
-        return _Outcome(
-            "quarantined",
-            stage=STAGE_SCHED,
-            detail=f"worker result unreadable: {type(error).__name__}: {error}",
+        return (
+            _Outcome(
+                "quarantined",
+                stage=STAGE_SCHED,
+                detail=f"worker result unreadable: {type(error).__name__}: {error}",
+            ),
+            no_timings,
         )
+    get_registry().counter(
+        "sched.dispatch.deserialize_seconds", "Worker-side payload unpickling"
+    ).inc(time.perf_counter() - decode_started)
     kind = outcome[0]
+    # Outcomes grew a trailing timings dict; tolerate the older 7-tuple
+    # shape so a resumed pre-attribution journal still decodes.
+    timings = outcome[-1] if isinstance(outcome[-1], dict) else no_timings
     if kind == "ok":
-        _kind, _name, result, seg, seg_error, registry, spans = outcome
-        _absorb_worker_observability(registry, spans)
+        _kind, _name, result, seg, seg_error, registry, spans = outcome[:7]
+        _absorb_worker_observability(registry, spans, parent_uid)
         if seg_error:
             _log.warning("worker SEG build failed", function=name, error=seg_error)
-        return _Outcome("prepared", result=result, seg=seg)
+        return _Outcome("prepared", result=result, seg=seg), timings
     if kind == "error":
-        _kind, _name, exc_type, message, line, registry, spans = outcome
-        _absorb_worker_observability(registry, spans)
-        return _Outcome(
-            "quarantined",
-            stage=STAGE_PREPARE,
-            detail=f"{exc_type}: {message}",
-            line=line,
+        _kind, _name, exc_type, message, line, registry, spans = outcome[:7]
+        _absorb_worker_observability(registry, spans, parent_uid)
+        return (
+            _Outcome(
+                "quarantined",
+                stage=STAGE_PREPARE,
+                detail=f"{exc_type}: {message}",
+                line=line,
+            ),
+            timings,
         )
-    return _Outcome(
-        "quarantined",
-        stage=STAGE_SCHED,
-        detail=f"worker returned unknown outcome kind {kind!r}",
+    return (
+        _Outcome(
+            "quarantined",
+            stage=STAGE_SCHED,
+            detail=f"worker returned unknown outcome kind {kind!r}",
+        ),
+        no_timings,
     )
 
 
 def _absorb_worker_observability(
-    registry: Optional[MetricsRegistry], spans: Optional[List[Span]]
+    registry: Optional[MetricsRegistry],
+    spans: Optional[List[Span]],
+    parent_uid: Optional[int] = None,
 ) -> None:
     if isinstance(registry, MetricsRegistry):
         get_registry().merge(registry)
     tracer = get_tracer()
     if tracer.enabled and spans:
-        tracer.absorb(spans)
+        tracer.absorb(spans, parent=parent_uid)

@@ -16,6 +16,26 @@ import json
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.obs.trace import get_tracer
+
+
+def _trace_context() -> Optional[Dict[str, Any]]:
+    """The caller's trace context, when tracing is on.
+
+    Attached to ``check``/``edit`` payloads so the daemon's
+    ``service.job`` span joins the client's trace — the job's worker-side
+    spans then parent under whatever span was open when the request was
+    made (cross-process critical paths read end to end).
+    """
+    tracer = get_tracer()
+    if not tracer.enabled:
+        return None
+    context: Dict[str, Any] = {"trace_id": tracer.trace_id}
+    stack = tracer._stack()
+    if stack:
+        context["parent_span_id"] = stack[-1]
+    return context
+
 
 class ServiceError(Exception):
     """A non-2xx daemon response."""
@@ -105,6 +125,9 @@ class ServiceClient:
             payload["budget"] = budget
         if wait_seconds is not None:
             payload["wait_seconds"] = wait_seconds
+        context = _trace_context()
+        if context:
+            payload["trace"] = context
         return self._checked("POST", "/v1/check", payload)
 
     def edit(
@@ -126,6 +149,9 @@ class ServiceClient:
             payload["function"] = function
         if budget:
             payload["budget"] = budget
+        context = _trace_context()
+        if context:
+            payload["trace"] = context
         return self._checked("POST", "/v1/edit", payload)
 
     def job(self, job_id: str) -> Dict[str, Any]:

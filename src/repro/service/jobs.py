@@ -28,6 +28,7 @@ import itertools
 import queue
 import threading
 import time
+import uuid
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -55,6 +56,14 @@ class Job:
     session: str
     checkers: List[str]
     payload: Dict[str, Any] = field(default_factory=dict)
+    # Trace context carried from the submitting client (the request
+    # payload's "trace" object), else minted at accept time: the job's
+    # ``service.job`` span joins this trace id and parents under the
+    # client's span, so a daemon-side run slots into the same distributed
+    # trace as the caller's — the same contract the scheduler's wave →
+    # worker dispatch keeps.
+    trace_id: str = ""
+    parent_span_id: Optional[int] = None
     status: str = STATUS_QUEUED
     enqueued_at: float = 0.0
     started_at: float = 0.0
@@ -89,6 +98,7 @@ class Job:
             "kind": self.kind,
             "session": self.session,
             "checkers": list(self.checkers),
+            "trace_id": self.trace_id,
             "status": self.status,
             "enqueued_at": round(self.enqueued_at, 6),
             "queue_seconds": round(self.queue_seconds, 6),
@@ -109,13 +119,29 @@ class JobTable:
         self._ids = itertools.count(1)
 
     def create(self, kind: str, session: str, checkers, payload) -> Job:
+        payload = dict(payload)
+        # Adopt the client's trace context when the request carries one
+        # (a {"trace": {"trace_id", "parent_span_id"}} payload object);
+        # mint a fresh trace id otherwise so every job is traceable.
+        trace_id = ""
+        parent_span: Optional[int] = None
+        context = payload.get("trace")
+        if isinstance(context, dict):
+            trace_id = str(context.get("trace_id", "") or "")
+            raw_parent = context.get("parent_span_id")
+            if isinstance(raw_parent, int) and not isinstance(raw_parent, bool):
+                parent_span = raw_parent
+        if not trace_id:
+            trace_id = uuid.uuid4().hex[:16]
         with self._lock:
             job = Job(
                 job_id=f"j{next(self._ids):06d}",
                 kind=kind,
                 session=session,
                 checkers=list(checkers),
-                payload=dict(payload),
+                payload=payload,
+                trace_id=trace_id,
+                parent_span_id=parent_span,
                 enqueued_at=self.clock(),
             )
             self._jobs[job.job_id] = job

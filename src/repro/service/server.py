@@ -56,6 +56,7 @@ from repro.core.report import report_as_dict
 from repro.lang.parser import ParseError, parse_program
 from repro.obs.metrics import get_registry
 from repro.obs.monitor import STREAM_POLL_SECONDS, _MonitorHandler
+from repro.obs.trace import trace
 from repro.robust import ResourceBudget
 from repro.robust.diagnostics import STAGE_VERIFY
 from repro.service.jobs import (
@@ -244,6 +245,7 @@ class ServiceServer:
             payload={
                 "source": source,
                 "budget": _BudgetSpec.from_payload(payload.get("budget")),
+                "trace": payload.get("trace"),
             },
         )
         return self._admit(job)
@@ -289,6 +291,7 @@ class ServiceServer:
             payload={
                 "func": func,
                 "budget": _BudgetSpec.from_payload(payload.get("budget")),
+                "trace": payload.get("trace"),
             },
         )
         return self._admit(job)
@@ -353,23 +356,35 @@ class ServiceServer:
         if self.config.worker_delay_seconds:
             time.sleep(self.config.worker_delay_seconds)
         session = self.sessions.acquire(job.session)
-        with session.lock:
-            kind = self._resolve_kind(job, session)
-            try:
-                program = self._job_program(job, session)
-            except ParseError as exc:
-                self.jobs.finish(
-                    job, STATUS_FAILED, error=f"parse error: {exc}"
-                )
-                return
-            except KeyError as exc:
-                self.jobs.finish(
-                    job,
-                    STATUS_FAILED,
-                    error=f"session has no function {exc.args[0]!r}",
-                )
-                return
-            result = self._analyze(job, session, program, kind)
+        # The job joins the distributed trace of whoever submitted it:
+        # trace_id/parent_span_id come from the request payload (or were
+        # minted at accept time), so a client-side trace export shows the
+        # daemon's work parented under the client's request span.
+        with trace(
+            "service.job",
+            unit=job.kind,
+            job_id=job.job_id,
+            session=job.session,
+            trace_id=job.trace_id,
+            parent_span=job.parent_span_id,
+        ):
+            with session.lock:
+                kind = self._resolve_kind(job, session)
+                try:
+                    program = self._job_program(job, session)
+                except ParseError as exc:
+                    self.jobs.finish(
+                        job, STATUS_FAILED, error=f"parse error: {exc}"
+                    )
+                    return
+                except KeyError as exc:
+                    self.jobs.finish(
+                        job,
+                        STATUS_FAILED,
+                        error=f"session has no function {exc.args[0]!r}",
+                    )
+                    return
+                result = self._analyze(job, session, program, kind)
         self.jobs.finish(job, STATUS_DONE, result=result)
 
     @staticmethod

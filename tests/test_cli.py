@@ -245,6 +245,70 @@ def test_check_stats_quantile_line(uaf_file, capsys):
     assert "p50=" in out and "p95=" in out and "p99=" in out
 
 
+def test_why_slow_smoke(uaf_file, capsys):
+    code = main(["why-slow", uaf_file, "--top", "5"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "repro why-slow" in out
+    assert "critical path" in out
+    assert "hottest functions" in out
+    assert "% compute" in out and "% dispatch overhead" in out
+
+
+def test_why_slow_json_artifact(uaf_file, tmp_path, capsys):
+    target = tmp_path / "why.json"
+    code = main(["why-slow", uaf_file, "--json", "--out", str(target)])
+    assert code == 0
+    printed = json.loads(capsys.readouterr().out)
+    written = json.loads(target.read_text())
+    assert printed["schema"] == "repro.why_slow/1"
+    assert printed["critical_path"], "critical path must be non-empty"
+    shares = printed["shares"]
+    assert shares["compute"] + shares["dispatch_overhead"] <= 1.0 + 1e-6
+    # The artifact is the same document the CLI printed.
+    assert written["schema"] == printed["schema"]
+    assert written["critical_path"] == printed["critical_path"]
+
+
+def test_profile_compare_diffs_two_artifacts(uaf_file, tmp_path, capsys):
+    old = tmp_path / "old.json"
+    new = tmp_path / "new.json"
+    main(["profile", uaf_file, "--json"])
+    old.write_text(capsys.readouterr().out)
+    main(["profile", uaf_file, "--json"])
+    new.write_text(capsys.readouterr().out)
+
+    code = main(["profile", "--compare", str(old), str(new)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "wall_seconds" in out
+    assert "pass " in out  # per-pass delta lines
+
+    code = main(["profile", "--compare", str(old), str(new), "--json"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["old"] and payload["new"]
+    assert payload["passes"], "per-pass deltas missing"
+
+
+def test_profile_compare_accepts_why_slow_artifact(uaf_file, tmp_path, capsys):
+    prof = tmp_path / "prof.json"
+    why = tmp_path / "why.json"
+    main(["profile", uaf_file, "--json"])
+    prof.write_text(capsys.readouterr().out)
+    main(["why-slow", uaf_file, "--json"])
+    why.write_text(capsys.readouterr().out)
+    code = main(["profile", "--compare", str(prof), str(why)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "wall_seconds" in out
+
+
+def test_profile_without_file_or_compare_errors(capsys):
+    assert main(["profile"]) == 2
+    assert "--compare" in capsys.readouterr().err
+
+
 def test_check_stats_quantiles_absent_without_smt(uaf_file, capsys):
     main(["check", uaf_file, "--stats", "--no-smt"])
     assert "[quantiles]" not in capsys.readouterr().out

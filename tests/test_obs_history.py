@@ -140,6 +140,17 @@ def test_collect_run_record_empty_registry():
         "resume_wave": 0,
         "journal_skips": 0,
         "retries": 0,
+        "critical_path_seconds": 0.0,
+        "overhead_ratio": 0.0,
+        "utilization": 0.0,
+        "dispatch": {
+            "serialize_seconds": 0.0,
+            "serialize_bytes": 0,
+            "deserialize_seconds": 0.0,
+            "result_bytes": 0,
+            "queue_seconds": 0.0,
+            "warmup_seconds": 0.0,
+        },
     }
 
 
@@ -393,6 +404,82 @@ def test_history_diff(uaf_file, tmp_path, capsys):
     payload = json.loads(capsys.readouterr().out)
     assert payload["same_fingerprint"] is True
     assert payload["same_findings_digest"] is True
+
+
+def test_history_diff_surfaces_dispatch_overhead_split(uaf_file, tmp_path, capsys):
+    """Acceptance: the compute-vs-dispatch split of a --jobs 2 run lands
+    in run history and ``history diff`` surfaces its deltas."""
+    hist = str(tmp_path / "hist")
+    main(["check", uaf_file, "--jobs", "2", "--history-dir", hist])
+    main(["check", uaf_file, "--jobs", "2", "--history-dir", hist])
+    capsys.readouterr()
+
+    records = HistoryStore(hist).records()
+    for rec in records:
+        sched = rec["sched"]
+        assert sched["jobs"] == 2
+        assert sched["critical_path_seconds"] > 0
+        assert 0.0 <= sched["overhead_ratio"] <= 1.0
+        assert 0.0 <= sched["utilization"] <= 1.0
+        dispatch = sched["dispatch"]
+        assert dispatch["serialize_bytes"] > 0
+        assert dispatch["serialize_seconds"] >= 0
+
+    assert main(["history", "diff", "--history-dir", hist]) == 0
+    out = capsys.readouterr().out
+    assert "critical_path" in out
+    assert "overhead_ratio" in out
+    assert "utilization" in out
+
+    main(["history", "diff", "--history-dir", hist, "--json"])
+    payload = json.loads(capsys.readouterr().out)
+    attr = payload["attr"]
+    assert len(attr["critical_path_seconds"]) == 2
+    assert all(v > 0 for v in attr["critical_path_seconds"])
+    assert all(0.0 <= v <= 1.0 for v in attr["overhead_ratio"])
+
+
+def sched_record(wall=1.0, jobs=2, overhead=0.2, **kwargs):
+    rec = record(wall=wall, **kwargs)
+    rec["sched"] = {
+        "jobs": jobs,
+        "overhead_ratio": overhead,
+        "critical_path_seconds": wall * (1 - overhead),
+        "utilization": 0.5,
+    }
+    return rec
+
+
+def test_trend_overhead_ratio_gate_needs_ratio_and_floor():
+    thresholds = TrendThresholds(overhead_ratio=1.5, overhead_floor=0.10)
+    # 3x the baseline share but under the absolute floor: noise.
+    small = [sched_record(overhead=0.02), sched_record(overhead=0.02),
+             sched_record(overhead=0.06)]
+    assert compute_trend(small, thresholds).ok
+    # 3x and well past the floor: regression.
+    big = [sched_record(overhead=0.15), sched_record(overhead=0.15),
+           sched_record(overhead=0.45)]
+    report = compute_trend(big, thresholds)
+    assert not report.ok
+    (reg,) = report.regressions
+    assert reg["metric"] == "overhead_ratio"
+    assert reg["ratio"] == 3.0
+    assert report.baseline["overhead_ratio"] == 0.15
+
+
+def test_trend_overhead_ratio_ignores_serial_runs():
+    thresholds = TrendThresholds(overhead_ratio=1.5, overhead_floor=0.10)
+    # Serial runs (jobs <= 1) have no dispatch overhead to gate, however
+    # large the recorded ratio looks.
+    runs = [sched_record(jobs=1, overhead=0.1),
+            sched_record(jobs=1, overhead=0.1),
+            sched_record(jobs=1, overhead=0.9)]
+    assert compute_trend(runs, thresholds).ok
+    # A parallel latest run with only serial priors has no baseline.
+    mixed = [sched_record(jobs=1, overhead=0.1),
+             sched_record(jobs=1, overhead=0.1),
+             sched_record(jobs=2, overhead=0.9)]
+    assert compute_trend(mixed, thresholds).ok
 
 
 def test_history_trend_check_passes_and_writes_bench(uaf_file, tmp_path, capsys):

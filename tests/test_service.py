@@ -251,6 +251,102 @@ def test_loadgen_measures_and_preserves_fingerprints():
         assert all(s["exit_code"] in (0, 1) for s in report.samples)
 
 
+def test_job_carries_trace_context_from_tracing_client():
+    from repro.obs.trace import Tracer, get_tracer, set_tracer
+
+    old = get_tracer()
+    try:
+        tracer = set_tracer(Tracer(enabled=True, trace_id="feedbeef12345678"))
+        with ServiceServer(ServiceConfig(workers=1)) as server:
+            client = ServiceClient(server.port)
+            with tracer.span("client.request") as outer:
+                outer_uid = outer.uid
+                done = client.check(SOURCE, session="traced", wait=True)
+            # The job document carries the client's trace id, and the
+            # daemon recorded a service.job span parented (by args) on
+            # the client's open request span.
+            job = client.job(done["job_id"])
+            assert job["trace_id"] == "feedbeef12345678"
+            service_spans = [
+                s for s in tracer.spans if s.name == "service.job"
+            ]
+            assert service_spans, "daemon must record a service.job span"
+            span = service_spans[0]
+            assert span.args["trace_id"] == "feedbeef12345678"
+            assert span.args["parent_span"] == outer_uid
+            assert span.args["job_id"] == done["job_id"]
+    finally:
+        set_tracer(old)
+
+
+def test_job_without_client_trace_mints_trace_id():
+    with ServiceServer(ServiceConfig(workers=1)) as server:
+        client = ServiceClient(server.port)
+        done = client.check(SOURCE, session="untraced", wait=True)
+        job = client.job(done["job_id"])
+        assert len(job["trace_id"]) == 16  # minted at accept time
+
+
+def test_metrics_expose_dispatch_and_attr_series_during_parallel_run():
+    """The daemon's /metrics surface serves the process registry, so a
+    ``--jobs 2`` run in flight in the same process exposes its
+    ``sched.dispatch.*`` and ``attr.*`` series live."""
+    import threading
+
+    from repro import Pinpoint, UseAfterFreeChecker
+    from repro.obs.metrics import MetricsRegistry, get_registry, set_registry
+
+    old_registry = get_registry()
+    set_registry(MetricsRegistry())
+    release = threading.Event()
+    prepared = threading.Event()
+    failure = []
+
+    def run_parallel():
+        try:
+            engine = Pinpoint.from_source(SOURCE, jobs=2)
+            engine.check(UseAfterFreeChecker())
+            prepared.set()
+            # Hold the run "open" until the poller has seen the series:
+            # the assertion below happens while this thread is live.
+            release.wait(timeout=30)
+        except Exception as exc:  # pragma: no cover - surfaced below
+            failure.append(exc)
+            prepared.set()
+
+    try:
+        with ServiceServer(ServiceConfig(workers=1)) as server:
+            client = ServiceClient(server.port)
+            worker = threading.Thread(target=run_parallel)
+            worker.start()
+            try:
+                assert prepared.wait(timeout=60)
+                assert not failure, failure
+                deadline = time.monotonic() + 30
+                needed = (
+                    "repro_sched_dispatch_serialize_bytes_total",
+                    "repro_sched_dispatch_serialize_seconds_total",
+                    "repro_attr_critical_path_seconds",
+                    "repro_attr_overhead_ratio",
+                    "repro_attr_utilization",
+                )
+                while True:
+                    text = client.metrics_text()
+                    if all(series in text for series in needed):
+                        break
+                    assert time.monotonic() < deadline, (
+                        f"missing series in /metrics: "
+                        f"{[s for s in needed if s not in text]}"
+                    )
+                    time.sleep(0.05)
+                assert worker.is_alive(), "run must still be in flight"
+            finally:
+                release.set()
+                worker.join(timeout=30)
+    finally:
+        set_registry(old_registry)
+
+
 def test_daemon_cli_announces_ephemeral_port_and_stops_on_sigterm(tmp_path):
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
